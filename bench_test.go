@@ -1,0 +1,445 @@
+// Benchmarks regenerating every evaluation artifact of the paper (one per
+// table/figure; see DESIGN.md §4 for the experiment index) plus the
+// ablation benches for the design choices DESIGN.md §5 calls out.
+package netarch_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netarch"
+	"netarch/internal/cardinality"
+	"netarch/internal/catalog"
+	"netarch/internal/core"
+	"netarch/internal/experiments"
+	"netarch/internal/kb"
+	"netarch/internal/sat"
+	"netarch/internal/topo"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("shape mismatch:\n%s", res)
+		}
+	}
+}
+
+// BenchmarkFig1Ordering regenerates Figure 1 (F1).
+func BenchmarkFig1Ordering(b *testing.B) { benchExperiment(b, experiments.RunF1) }
+
+// BenchmarkListing1Extraction regenerates Listing 1 (L1).
+func BenchmarkListing1Extraction(b *testing.B) { benchExperiment(b, experiments.RunL1) }
+
+// BenchmarkEncodeSystem regenerates Listing 2 (L2).
+func BenchmarkEncodeSystem(b *testing.B) { benchExperiment(b, experiments.RunL2) }
+
+// BenchmarkListing3Workload regenerates Listing 3 (L3).
+func BenchmarkListing3Workload(b *testing.B) { benchExperiment(b, experiments.RunL3) }
+
+// BenchmarkQuery1 regenerates §5.1 query 1.
+func BenchmarkQuery1(b *testing.B) { benchExperiment(b, experiments.RunQ1) }
+
+// BenchmarkQuery2 regenerates §5.1 query 2.
+func BenchmarkQuery2(b *testing.B) { benchExperiment(b, experiments.RunQ2) }
+
+// BenchmarkQuery3 regenerates §5.1 query 3.
+func BenchmarkQuery3(b *testing.B) { benchExperiment(b, experiments.RunQ3) }
+
+// BenchmarkExtractionAccuracy regenerates the §4.1 table (E4.1).
+func BenchmarkExtractionAccuracy(b *testing.B) { benchExperiment(b, experiments.RunE41) }
+
+// BenchmarkEncodingCheck regenerates the §4.2 table (E4.2).
+func BenchmarkEncodingCheck(b *testing.B) { benchExperiment(b, experiments.RunE42) }
+
+// BenchmarkReasonerComparison regenerates the §5.2 table (E5.2).
+func BenchmarkReasonerComparison(b *testing.B) { benchExperiment(b, experiments.RunE52) }
+
+// BenchmarkSpecLinearity regenerates the §3.1 metric series (M3.1).
+func BenchmarkSpecLinearity(b *testing.B) { benchExperiment(b, experiments.RunM31) }
+
+// BenchmarkPFCDeadlock regenerates the PFC case table (P1).
+func BenchmarkPFCDeadlock(b *testing.B) { benchExperiment(b, experiments.RunP1) }
+
+// BenchmarkGreedyVsSAT regenerates the baseline comparison (B1).
+func BenchmarkGreedyVsSAT(b *testing.B) { benchExperiment(b, experiments.RunB1) }
+
+// BenchmarkSynthScaling measures synthesis latency against catalog size
+// (S1): the series the paper's tractability bet rides on.
+func BenchmarkSynthScaling(b *testing.B) {
+	full := catalog.CaseStudy()
+	for _, frac := range []int{25, 50, 100} {
+		sub := experiments.CatalogFraction(full, frac)
+		if frac == 100 {
+			sub.Rules, sub.Orders = full.Rules, full.Orders
+		}
+		b.Run(fmt.Sprintf("catalog=%d%%", frac), func(b *testing.B) {
+			eng, err := netarch.NewEngine(sub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := eng.Synthesize(netarch.Scenario{Workloads: []string{"inference_app"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict != netarch.Feasible {
+					b.Fatal("expected feasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSynthWorkloadScaling measures synthesis cost as workloads
+// accumulate (the §5.1 "verify how the deployment changes as we add more
+// workloads" axis).
+func BenchmarkSynthWorkloadScaling(b *testing.B) {
+	k := catalog.CaseStudy()
+	k.Workloads = append(k.Workloads, catalog.BatchAnalyticsWorkload(), catalog.StorageWorkload())
+	names := []string{"inference_app", "batch_analytics", "storage_backend"}
+	for n := 1; n <= 3; n++ {
+		b.Run(fmt.Sprintf("workloads=%d", n), func(b *testing.B) {
+			eng, err := netarch.NewEngine(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := netarch.Scenario{
+				Workloads:  names[:n],
+				NumServers: 192,
+				Context:    map[string]bool{"pfc_enabled": true},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Synthesize(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---------------------------------------
+
+// hardInstance loads a phase-transition random 3-SAT instance.
+func hardInstance(s *sat.Solver, seed int64, nVars int) {
+	r := rand.New(rand.NewSource(seed))
+	nClauses := int(4.1 * float64(nVars))
+	s.EnsureVars(nVars)
+	for i := 0; i < nClauses; i++ {
+		c := make([]sat.Lit, 3)
+		for j := range c {
+			v := r.Intn(nVars) + 1
+			if r.Intn(2) == 0 {
+				c[j] = sat.Lit(v)
+			} else {
+				c[j] = sat.Lit(-v)
+			}
+		}
+		s.AddClause(c...)
+	}
+}
+
+// BenchmarkAblationNoLearning compares CDCL against plain DPLL
+// (chronological backtracking, no learnt clauses).
+func BenchmarkAblationNoLearning(b *testing.B) {
+	for _, opts := range []struct {
+		name string
+		o    sat.Options
+	}{
+		{"cdcl", sat.Options{}},
+		{"dpll", sat.Options{NoLearning: true}},
+	} {
+		b.Run(opts.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sat.NewSolverOpts(opts.o)
+				hardInstance(s, int64(i%4), 40)
+				s.Solve()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaticOrder compares VSIDS against static variable
+// order.
+func BenchmarkAblationStaticOrder(b *testing.B) {
+	for _, opts := range []struct {
+		name string
+		o    sat.Options
+	}{
+		{"vsids", sat.Options{}},
+		{"static", sat.Options{StaticOrder: true}},
+	} {
+		b.Run(opts.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sat.NewSolverOpts(opts.o)
+				hardInstance(s, int64(i%4), 48)
+				s.Solve()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRestarts compares Luby restarts on/off.
+func BenchmarkAblationRestarts(b *testing.B) {
+	for _, opts := range []struct {
+		name string
+		o    sat.Options
+	}{
+		{"luby", sat.Options{}},
+		{"none", sat.Options{NoRestarts: true}},
+	} {
+		b.Run(opts.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sat.NewSolverOpts(opts.o)
+				hardInstance(s, int64(i%4), 48)
+				s.Solve()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSimplify measures solving with and without top-level
+// inprocessing (subsumption + self-subsuming resolution) on redundant
+// instances of the kind the compiler emits (many overlapping clauses).
+func BenchmarkAblationSimplify(b *testing.B) {
+	build := func() *sat.Solver {
+		r := rand.New(rand.NewSource(3))
+		s := sat.NewSolver()
+		nVars := 60
+		s.EnsureVars(nVars)
+		// Base instance plus redundant supersets of many clauses.
+		for i := 0; i < 200; i++ {
+			c := make([]sat.Lit, 3)
+			for j := range c {
+				v := r.Intn(nVars) + 1
+				if r.Intn(2) == 0 {
+					c[j] = sat.Lit(v)
+				} else {
+					c[j] = sat.Lit(-v)
+				}
+			}
+			s.AddClause(c...)
+			if r.Intn(2) == 0 {
+				widened := append(append([]sat.Lit(nil), c...), sat.Lit(r.Intn(nVars)+1))
+				s.AddClause(widened...)
+			}
+		}
+		return s
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := build()
+			s.Solve()
+		}
+	})
+	b.Run("simplify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := build()
+			s.Simplify()
+			s.Solve()
+		}
+	})
+}
+
+// BenchmarkAblationCardinality compares the sequential counter and the
+// totalizer as at-most-k encodings under the optimizer's workload shape.
+func BenchmarkAblationCardinality(b *testing.B) {
+	const n, k = 40, 12
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver()
+			lits := make([]sat.Lit, n)
+			for j := range lits {
+				lits[j] = sat.Lit(s.NewVar())
+			}
+			cardinality.AtMostKSeq(s, lits, k)
+			cardinality.AtLeastK(s, lits, k)
+			if s.Solve() != sat.Sat {
+				b.Fatal("want SAT")
+			}
+		}
+	})
+	b.Run("totalizer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver()
+			lits := make([]sat.Lit, n)
+			for j := range lits {
+				lits[j] = sat.Lit(s.NewVar())
+			}
+			tot := cardinality.NewTotalizer(s, lits)
+			tot.ConstrainAtMost(k)
+			tot.ConstrainAtLeast(k)
+			if s.Solve() != sat.Sat {
+				b.Fatal("want SAT")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMUS compares the raw assumption core against the
+// deletion-minimized MUS on an over-constrained scenario (explanation
+// quality vs cost).
+func BenchmarkAblationMUS(b *testing.B) {
+	k := catalog.CaseStudy()
+	sc := netarch.Scenario{
+		Context: map[string]bool{
+			"pfc_enabled": true, "flooding_enabled": true,
+			"deadline_tight": true,
+		},
+		Require: []netarch.Property{"low_latency_stack"},
+	}
+	b.Run("minimized", func(b *testing.B) {
+		eng, err := netarch.NewEngine(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex, err := eng.Explain(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ex == nil || len(ex.Conflicts) == 0 {
+				b.Fatal("expected explanation")
+			}
+			b.ReportMetric(float64(len(ex.Conflicts)), "core-items")
+		}
+	})
+}
+
+// BenchmarkPFCGraphCheck measures the buffer-dependency analysis itself.
+func BenchmarkPFCGraphCheck(b *testing.B) {
+	for _, kArity := range []int{4, 8} {
+		b.Run(fmt.Sprintf("fattree-k=%d", kArity), func(b *testing.B) {
+			t, err := topo.NewFatTree(kArity, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := t.PFCDeadlockCheck(true); !rep.Deadlock {
+					b.Fatal("expected deadlock under flooding")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatalogVsSATCheck compares the §3.4 substrate candidates on
+// design *checking*: the stratified-Datalog backend vs the SAT engine.
+// (Only SAT can also synthesize; this measures the overlap they share.)
+func BenchmarkDatalogVsSATCheck(b *testing.B) {
+	k := catalog.CaseStudy()
+	eng, err := core.New(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	design := core.Design{
+		Systems: []string{"linux", "dctcp", "ecmp", "pingmesh", "tcp", "ovs"},
+		Hardware: map[kb.HardwareKind]string{
+			kb.KindSwitch: "Aristo EX-32x100G",
+			kb.KindNIC:    "Mellanor CX-100G",
+			kb.KindServer: "Suprima HD-128c",
+		},
+	}
+	sc := core.Scenario{Workloads: []string{"inference_app"}}
+	b.Run("datalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.DatalogCheck(design, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Check(design, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProofLogging measures the overhead of DRAT logging plus the
+// cost of independently checking an UNSAT proof.
+func BenchmarkProofLogging(b *testing.B) {
+	build := func(s *sat.Solver) [][]sat.Lit {
+		var clauses [][]sat.Lit
+		n := 6
+		v := func(pn, h int) sat.Lit { return sat.Lit(pn*n + h + 1) }
+		for pn := 0; pn < n+1; pn++ {
+			var c []sat.Lit
+			for h := 0; h < n; h++ {
+				c = append(c, v(pn, h))
+			}
+			clauses = append(clauses, c)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 < n+1; p1++ {
+				for p2 := p1 + 1; p2 < n+1; p2++ {
+					clauses = append(clauses, []sat.Lit{-v(p1, h), -v(p2, h)})
+				}
+			}
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		return clauses
+	}
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver()
+			build(s)
+			if s.Solve() != sat.Unsat {
+				b.Fatal("want UNSAT")
+			}
+		}
+	})
+	b.Run("solve+log", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver()
+			s.AttachProof()
+			build(s)
+			if s.Solve() != sat.Unsat {
+				b.Fatal("want UNSAT")
+			}
+		}
+	})
+	b.Run("solve+log+check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.NewSolver()
+			p := s.AttachProof()
+			clauses := build(s)
+			if s.Solve() != sat.Unsat {
+				b.Fatal("want UNSAT")
+			}
+			if err := sat.CheckRUP(clauses, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompile measures scenario compilation alone (formula build +
+// CNF + arithmetic) at full catalog scale.
+func BenchmarkCompile(b *testing.B) {
+	k := catalog.CaseStudy()
+	eng, err := core.New(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Enumerate(…, 0) compiles and immediately returns no designs.
+		if _, err := eng.Enumerate(core.Scenario{Workloads: []string{"inference_app"}}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,591 @@
+// Command netarch is the CLI for the lightweight network-architecture
+// reasoning framework: query the knowledge compendium, synthesize and
+// check designs, optimize under lexicographic objectives, explain
+// infeasibility, inspect the catalog, extract hardware encodings from
+// spec sheets, export Figure 1-style orderings, analyse PFC safety, and
+// regenerate every experiment of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"netarch"
+	"netarch/internal/dsl"
+	"netarch/internal/experiments"
+	"netarch/internal/extract"
+	"netarch/internal/kb"
+	"netarch/internal/logic"
+	"netarch/internal/order"
+	"netarch/internal/report"
+	"netarch/internal/topo"
+)
+
+const usage = `netarch - lightweight automated reasoning for network architectures
+
+Usage:
+  netarch experiments [id]          regenerate paper experiments (all or one)
+  netarch synth [flags]             synthesize a compliant design
+  netarch check -systems a,b [...]  check a concrete design
+  netarch optimize [flags]          lexicographic optimization
+  netarch explain [flags]           explain why no design exists
+  netarch suggest [flags]           propose minimal requirement relaxations
+  netarch disambiguate [flags]      report where the solution space forks
+  netarch catalog [stats|systems|hardware|export|export-dsl]
+  netarch kb <validate|to-json|to-dsl> <file|->
+  netarch kb diff <old> <new>       compare two knowledge-base files
+  netarch extract <specfile|->      extract a hardware encoding from a spec sheet
+  netarch viz <dimension>           emit a Figure 1-style ordering as Graphviz DOT
+  netarch pfc [flags]               PFC buffer-dependency deadlock analysis
+
+Common synth/optimize/explain flags:
+  -require p1,p2      required properties
+  -context k=v,...    pinned context atoms (v in {true,false})
+  -workloads w1,w2    workloads to support (default: all in the KB)
+  -pin s1,s2          systems that must be deployed
+  -forbid s1,s2       systems that must not be deployed
+  -servers N          fleet size (default 48)
+  -maxcost N          hardware budget in USD
+  -objectives list    (optimize) comma list: cost,cores,systems,order:<dim>
+`
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprint(os.Stderr, usage)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "synth":
+		err = cmdSolve(os.Args[2:], "synth")
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "optimize":
+		err = cmdSolve(os.Args[2:], "optimize")
+	case "explain":
+		err = cmdSolve(os.Args[2:], "explain")
+	case "suggest":
+		err = cmdSolve(os.Args[2:], "suggest")
+	case "disambiguate":
+		err = cmdSolve(os.Args[2:], "disambiguate")
+	case "catalog":
+		err = cmdCatalog(os.Args[2:])
+	case "kb":
+		err = cmdKB(os.Args[2:])
+	case "extract":
+		err = cmdExtract(os.Args[2:])
+	case "viz":
+		err = cmdViz(os.Args[2:])
+	case "pfc":
+		err = cmdPFC(os.Args[2:])
+	case "help", "-h", "--help":
+		fmt.Print(usage)
+	default:
+		fmt.Fprintf(os.Stderr, "netarch: unknown command %q\n\n%s", os.Args[1], usage)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netarch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func cmdExperiments(args []string) error {
+	if len(args) > 0 {
+		for _, r := range experiments.All() {
+			if strings.EqualFold(r.ID, args[0]) {
+				res, err := r.Run()
+				if err != nil {
+					return err
+				}
+				fmt.Println(res)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown experiment %q", args[0])
+	}
+	results, err := experiments.RunAll()
+	if err != nil {
+		return err
+	}
+	pass := 0
+	for _, res := range results {
+		fmt.Println(res)
+		if res.Pass {
+			pass++
+		}
+	}
+	fmt.Printf("== summary: %d/%d experiments match the paper's shape\n", pass, len(results))
+	return nil
+}
+
+// scenarioFlags registers the common scenario flags on fs.
+func scenarioFlags(fs *flag.FlagSet) (get func() (netarch.Scenario, error), objectives *string) {
+	require := fs.String("require", "", "comma list of required properties")
+	context := fs.String("context", "", "comma list of atom=bool context pins")
+	workloads := fs.String("workloads", "", "comma list of workloads")
+	pin := fs.String("pin", "", "comma list of pinned systems")
+	forbid := fs.String("forbid", "", "comma list of forbidden systems")
+	servers := fs.Int("servers", 0, "fleet size (servers)")
+	maxCost := fs.Int64("maxcost", 0, "hardware budget USD (0 = unlimited)")
+	pinServer := fs.String("pin-server", "", "pin the server SKU")
+	pinSwitch := fs.String("pin-switch", "", "pin the switch SKU")
+	pinNIC := fs.String("pin-nic", "", "pin the NIC SKU")
+	objectives = fs.String("objectives", "cost", "objectives: cost,cores,systems,order:<dim>")
+	_ = fs.Bool("md", false, "emit a Markdown report instead of plain text")
+
+	get = func() (netarch.Scenario, error) {
+		sc := netarch.Scenario{
+			NumServers: *servers,
+			MaxCostUSD: *maxCost,
+		}
+		for _, p := range splitList(*require) {
+			sc.Require = append(sc.Require, netarch.Property(p))
+		}
+		sc.Workloads = splitList(*workloads)
+		sc.PinnedSystems = splitList(*pin)
+		sc.ForbiddenSystems = splitList(*forbid)
+		if *context != "" {
+			sc.Context = map[string]bool{}
+			for _, kv := range splitList(*context) {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return sc, fmt.Errorf("bad context pin %q (want atom=true|false)", kv)
+				}
+				switch parts[1] {
+				case "true":
+					sc.Context[parts[0]] = true
+				case "false":
+					sc.Context[parts[0]] = false
+				default:
+					return sc, fmt.Errorf("bad context value %q", parts[1])
+				}
+			}
+		}
+		hwPins := map[netarch.HardwareKind]string{}
+		if *pinServer != "" {
+			hwPins[netarch.KindServer] = *pinServer
+		}
+		if *pinSwitch != "" {
+			hwPins[netarch.KindSwitch] = *pinSwitch
+		}
+		if *pinNIC != "" {
+			hwPins[netarch.KindNIC] = *pinNIC
+		}
+		if len(hwPins) > 0 {
+			sc.PinnedHardware = hwPins
+		}
+		return sc, nil
+	}
+	return get, objectives
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cmdSolve(args []string, mode string) error {
+	fs := flag.NewFlagSet(mode, flag.ContinueOnError)
+	getScenario, objectives := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	asMarkdown := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "md" && f.Value.String() == "true" {
+			asMarkdown = true
+		}
+	})
+	sc, err := getScenario()
+	if err != nil {
+		return err
+	}
+	k := netarch.CaseStudy()
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "synth":
+		rep, err := eng.Synthesize(sc)
+		if err != nil {
+			return err
+		}
+		if asMarkdown {
+			fmt.Print(report.Render(k, sc, rep, report.Options{ShowNotes: true}))
+			if rep.Verdict == netarch.Infeasible {
+				sugs, err := eng.Suggest(sc, 3)
+				if err != nil {
+					return err
+				}
+				fmt.Print(report.RenderSuggestions(sugs))
+			}
+			return nil
+		}
+		printReport(rep)
+	case "explain":
+		ex, err := eng.Explain(sc)
+		if err != nil {
+			return err
+		}
+		if ex == nil {
+			fmt.Println("FEASIBLE: nothing to explain")
+		} else {
+			fmt.Print(ex.String())
+		}
+	case "suggest":
+		sugs, err := eng.Suggest(sc, 5)
+		if err != nil {
+			return err
+		}
+		if sugs == nil {
+			fmt.Println("FEASIBLE: nothing to relax")
+			return nil
+		}
+		for i, s := range sugs {
+			fmt.Printf("option %d:\n%s", i+1, s)
+		}
+	case "disambiguate":
+		d, err := eng.Disambiguate(sc, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Print(d.String())
+	case "optimize":
+		objs, err := parseObjectives(*objectives)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Optimize(sc, objs)
+		if err != nil {
+			return err
+		}
+		printReport(&res.Report)
+		if res.Verdict == netarch.Feasible {
+			for i, v := range res.ObjectiveValues {
+				fmt.Printf("objective[%d] %s = %d\n", i, objs[i].Kind, v)
+			}
+		}
+	}
+	return nil
+}
+
+func parseObjectives(s string) ([]netarch.Objective, error) {
+	var out []netarch.Objective
+	for _, o := range splitList(s) {
+		switch {
+		case o == "cost":
+			out = append(out, netarch.Objective{Kind: netarch.MinimizeCost})
+		case o == "cores":
+			out = append(out, netarch.Objective{Kind: netarch.MinimizeCores})
+		case o == "systems":
+			out = append(out, netarch.Objective{Kind: netarch.MinimizeSystems})
+		case strings.HasPrefix(o, "order:"):
+			out = append(out, netarch.Objective{
+				Kind: netarch.PreferOrder, Dimension: strings.TrimPrefix(o, "order:"),
+			})
+		default:
+			return nil, fmt.Errorf("unknown objective %q", o)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no objectives given")
+	}
+	return out, nil
+}
+
+func printReport(rep *netarch.Report) {
+	fmt.Println(rep.Verdict)
+	if rep.Verdict == netarch.Feasible {
+		d := rep.Design
+		fmt.Printf("systems:  %s\n", strings.Join(d.Systems, " "))
+		fmt.Printf("switch:   %s\n", d.Hardware[netarch.KindSwitch])
+		fmt.Printf("nic:      %s\n", d.Hardware[netarch.KindNIC])
+		fmt.Printf("server:   %s\n", d.Hardware[netarch.KindServer])
+		fmt.Printf("cores:    %d/%d\n", d.Metrics["cores_used"], d.Metrics["cores_total"])
+		fmt.Printf("cost:     $%d\n", d.Metrics["cost_usd"])
+	} else {
+		fmt.Print(rep.Explanation.String())
+	}
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	systems := fs.String("systems", "", "comma list of deployed systems")
+	swName := fs.String("switch", "", "selected switch SKU")
+	nicName := fs.String("nic", "", "selected NIC SKU")
+	srvName := fs.String("server", "", "selected server SKU")
+	getScenario, _ := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := getScenario()
+	if err != nil {
+		return err
+	}
+	d := netarch.Design{
+		Systems:  splitList(*systems),
+		Hardware: map[netarch.HardwareKind]string{},
+	}
+	if *swName != "" {
+		d.Hardware[netarch.KindSwitch] = *swName
+	}
+	if *nicName != "" {
+		d.Hardware[netarch.KindNIC] = *nicName
+	}
+	if *srvName != "" {
+		d.Hardware[netarch.KindServer] = *srvName
+	}
+	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	if err != nil {
+		return err
+	}
+	rep, err := eng.Check(d, sc)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	return nil
+}
+
+func cmdCatalog(args []string) error {
+	sub := "stats"
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	k := netarch.DefaultCatalog()
+	switch sub {
+	case "stats":
+		st := k.ComputeStats()
+		fmt.Printf("systems:     %d\n", st.Systems)
+		fmt.Printf("hardware:    %d\n", st.Hardware)
+		fmt.Printf("rules:       %d\n", st.Rules)
+		fmt.Printf("order edges: %d\n", st.OrderEdges)
+		fmt.Printf("spec size:   %d facts\n", st.SpecSize)
+		for _, role := range kb.Roles() {
+			fmt.Printf("  %-20s %d systems\n", role, len(k.SystemsByRole(role)))
+		}
+	case "systems":
+		for _, role := range kb.Roles() {
+			fmt.Printf("%s:\n", role)
+			for _, s := range k.SystemsByRole(role) {
+				fmt.Printf("  %-20s solves=%v maturity=%s\n", s.Name, s.Solves, s.Maturity)
+			}
+		}
+	case "hardware":
+		byKind := map[netarch.HardwareKind][]string{}
+		for i := range k.Hardware {
+			h := &k.Hardware[i]
+			byKind[h.Kind] = append(byKind[h.Kind], h.Name)
+		}
+		for _, kind := range []netarch.HardwareKind{netarch.KindSwitch, netarch.KindNIC, netarch.KindServer} {
+			names := byKind[kind]
+			sort.Strings(names)
+			fmt.Printf("%s (%d):\n", kind, len(names))
+			for _, n := range names {
+				fmt.Printf("  %s\n", n)
+			}
+		}
+	case "export":
+		return k.Save(os.Stdout)
+	case "export-dsl":
+		_, err := fmt.Print(dsl.Format(k))
+		return err
+	default:
+		return fmt.Errorf("unknown catalog subcommand %q", sub)
+	}
+	return nil
+}
+
+// cmdKB validates or converts user-authored knowledge-base files in
+// either JSON or DSL format — the crowd-sourcing workflow of §3.3.
+func cmdKB(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: netarch kb <validate|to-json|to-dsl|diff> <file...>")
+	}
+	if args[0] == "diff" {
+		if len(args) < 3 {
+			return fmt.Errorf("usage: netarch kb diff <old> <new>")
+		}
+		oldData, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		newData, err := os.ReadFile(args[2])
+		if err != nil {
+			return err
+		}
+		oldKB, err := loadAnyKB(oldData)
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[1], err)
+		}
+		newKB, err := loadAnyKB(newData)
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[2], err)
+		}
+		fmt.Print(kb.FormatDiff(kb.Diff(oldKB, newKB)))
+		return nil
+	}
+	sub, path := args[0], args[1]
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	k, err := loadAnyKB(data)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "validate":
+		st := k.ComputeStats()
+		fmt.Printf("valid: %d systems, %d hardware, %d workloads, %d rules, %d order edges\n",
+			st.Systems, st.Hardware, st.Workloads, st.Rules, st.OrderEdges)
+		return nil
+	case "to-json":
+		return k.Save(os.Stdout)
+	case "to-dsl":
+		_, err := fmt.Print(dsl.Format(k))
+		return err
+	default:
+		return fmt.Errorf("unknown kb subcommand %q", sub)
+	}
+}
+
+// loadAnyKB sniffs JSON vs DSL.
+func loadAnyKB(data []byte) (*netarch.KB, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return kb.Load(strings.NewReader(trimmed))
+	}
+	return dsl.ParseString(trimmed)
+}
+
+func cmdExtract(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: netarch extract <specfile|->")
+	}
+	var text []byte
+	var err error
+	if args[0] == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return err
+	}
+	llm := extract.NewSimulatedLLM(1)
+	h, err := llm.ExtractHardware(string(text))
+	if err != nil {
+		return err
+	}
+	out := &netarch.KB{Hardware: []netarch.Hardware{h}}
+	return out.Save(os.Stdout)
+}
+
+func cmdViz(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: netarch viz <dimension> (e.g. throughput, isolation)")
+	}
+	k := netarch.DefaultCatalog()
+	spec := k.OrderByDimension(args[0])
+	if spec == nil {
+		var dims []string
+		for _, o := range k.Orders {
+			dims = append(dims, o.Dimension)
+		}
+		return fmt.Errorf("unknown dimension %q (have: %s)", args[0], strings.Join(dims, ", "))
+	}
+	vo := logic.NewVocabulary()
+	g := order.New(spec.Dimension)
+	for _, e := range spec.Edges {
+		guard := logic.True
+		if e.Guard != nil {
+			var err error
+			guard, err = e.Guard.Compile(vo.Get)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.AddEdge(e.Better, e.Worse, guard, e.Note); err != nil {
+			return err
+		}
+	}
+	for _, e := range spec.Equals {
+		guard := logic.True
+		if e.Guard != nil {
+			var err error
+			guard, err = e.Guard.Compile(vo.Get)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.AddEqual(e.A, e.B, guard, e.Note); err != nil {
+			return err
+		}
+	}
+	color := map[string]string{
+		"throughput": "gold3", "isolation": "red3", "app_modification": "blue3",
+	}[spec.Dimension]
+	fmt.Print(g.DOT(vo, color))
+	return nil
+}
+
+func cmdPFC(args []string) error {
+	fs := flag.NewFlagSet("pfc", flag.ContinueOnError)
+	shape := fs.String("topo", "leafspine:2x2", "topology: leafspine:SxL or fattree:K")
+	flooding := fs.Bool("flooding", false, "enable L2 flooding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		t   *topo.Topology
+		err error
+	)
+	switch {
+	case strings.HasPrefix(*shape, "leafspine:"):
+		var s, l int
+		if _, err := fmt.Sscanf(*shape, "leafspine:%dx%d", &s, &l); err != nil {
+			return fmt.Errorf("bad leafspine shape %q", *shape)
+		}
+		t, err = topo.NewLeafSpine(s, l, 4, 64)
+	case strings.HasPrefix(*shape, "fattree:"):
+		var karg int
+		if _, err := fmt.Sscanf(*shape, "fattree:%d", &karg); err != nil {
+			return fmt.Errorf("bad fattree shape %q", *shape)
+		}
+		t, err = topo.NewFatTree(karg, 64)
+	default:
+		return fmt.Errorf("unknown topology %q", *shape)
+	}
+	if err != nil {
+		return err
+	}
+	rep := t.PFCDeadlockCheck(*flooding)
+	fmt.Println(rep)
+	if rep.Deadlock {
+		fmt.Println("rule check: the knowledge base forbids this (rule pfc_no_flooding)")
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package netarch_test
+
+import (
+	"fmt"
+	"log"
+
+	"netarch"
+)
+
+// ExampleNewEngine shows the basic query flow: load the compendium, ask
+// whether a compliant design exists under environmental constraints.
+func ExampleNewEngine() {
+	eng, err := netarch.NewEngine(netarch.DefaultCatalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Synthesize(netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+		Context: map[string]bool{"deadline_tight": true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Verdict)
+	// Output: FEASIBLE
+}
+
+// ExampleEngine_Explain shows the minimal-conflict explanation for an
+// impossible ask — here, the paper's PFC-with-flooding incident.
+func ExampleEngine_Explain() {
+	eng, err := netarch.NewEngine(netarch.DefaultCatalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := eng.Explain(netarch.Scenario{
+		Context: map[string]bool{"pfc_enabled": true, "flooding_enabled": true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range ex.Conflicts {
+		if c.Name == "rule:pfc_no_flooding" {
+			fmt.Println("conflict includes the PFC rule")
+		}
+	}
+	// Output: conflict includes the PFC rule
+}
+
+// ExampleResolveOrder resolves the Figure 1 throughput ordering under a
+// low-link-rate context.
+func ExampleResolveOrder() {
+	k := netarch.DefaultCatalog()
+	r, err := netarch.ResolveOrder(k, "throughput",
+		map[string]bool{"load_ge_40gbps": false}, netarch.Fig1Stacks()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Better("linux", "netchannel"))
+	fmt.Println(r.Better("netchannel", "linux"))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleParseDSL parses a contributed system encoding in the textual
+// format and merges it into the compendium.
+func ExampleParseDSL() {
+	contrib, err := netarch.ParseDSL(`
+system myflowmon {
+    role: monitoring
+    solves: flow_telemetry
+    requires switch: P4_PROGRAMMABLE
+    resource p4_stages: 4
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := netarch.DefaultCatalog()
+	before := len(k.Systems)
+	if err := k.Merge(contrib); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(k.Systems) - before)
+	// Output: 1
+}
+
+// ExampleNewFatTree runs the PFC safety analysis on a fat-tree.
+func ExampleNewFatTree() {
+	t, err := netarch.NewFatTree(4, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t.PFCDeadlockCheck(false).Deadlock)
+	fmt.Println(t.PFCDeadlockCheck(true).Deadlock)
+	// Output:
+	// false
+	// true
+}

@@ -1,0 +1,147 @@
+// The §2.3 case study: an architect deploys a latency-sensitive ML
+// inference application and must pick five interacting components —
+// virtualization, network stack, congestion control, load balancing, and
+// queue-length monitoring — plus the hardware they run on.
+//
+// The program walks the paper's storyline: the naive all-defaults design
+// misses the latency goal's requirements; the engine synthesizes a
+// compliant design under Listing 3's bound and lexicographic objective;
+// and the three §5.1 what-if queries are answered.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"netarch"
+)
+
+func main() {
+	k := netarch.CaseStudy() // catalog + the inference_app workload (Listing 3)
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The architect's simplest choices (§2.3): OVS + Linux + Cubic +
+	// ECMP, no monitoring, fixed-function hardware. Structurally valid —
+	// but it cannot satisfy the workload's queue-monitoring need.
+	naive := netarch.Design{
+		Systems: []string{"ovs", "linux", "cubic", "ecmp", "tcp"},
+		Hardware: map[netarch.HardwareKind]string{
+			netarch.KindSwitch: "Aristo FX-32x10G",
+			netarch.KindNIC:    "Intella Basic-40G",
+			netarch.KindServer: "Dellora R-64c",
+		},
+	}
+	sc := netarch.Scenario{Workloads: []string{"inference_app"}}
+	chk, err := eng.Check(naive, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- the naive design (§2.3's starting point) ---")
+	fmt.Println("verdict:", chk.Verdict)
+	if chk.Verdict == netarch.Infeasible {
+		fmt.Print(chk.Explanation.String())
+	}
+	fmt.Println()
+
+	// Listing 3: the workload encoding carries a performance bound
+	// (load balancing at least as good as packet spraying) and the
+	// objective Optimize(latency > Hardware cost > monitoring).
+	sc = netarch.Scenario{
+		Workloads: []string{"inference_app"},
+		Context:   map[string]bool{"app_modifiable": true},
+		Bounds: []netarch.PerformanceBound{
+			{Dimension: "load_balancing", Reference: "packet-spraying"},
+		},
+	}
+	opt, err := eng.Optimize(sc, []netarch.Objective{
+		{Kind: netarch.PreferOrder, Dimension: "tail_latency"},
+		{Kind: netarch.MinimizeCost},
+		{Kind: netarch.PreferOrder, Dimension: "monitoring"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- Listing 3: Optimize(latency > hardware cost > monitoring) ---")
+	fmt.Println("verdict:", opt.Verdict)
+	fmt.Println("systems:", strings.Join(opt.Design.Systems, ", "))
+	fmt.Printf("hardware: switch=%s nic=%s server=%s\n",
+		opt.Design.Hardware[netarch.KindSwitch],
+		opt.Design.Hardware[netarch.KindNIC],
+		opt.Design.Hardware[netarch.KindServer])
+	fmt.Printf("objective minima: latency-penalty=%d cost=$%d monitoring-penalty=%d\n\n",
+		opt.ObjectiveValues[0], opt.ObjectiveValues[1], opt.ObjectiveValues[2])
+
+	// §5.1 query 1: more applications, servers frozen.
+	fmt.Println("--- §5.1 Q1: add workloads without changing servers ---")
+	frozen := opt.Design.Hardware[netarch.KindServer]
+	k.Workloads = append(k.Workloads,
+		netarch.Workload{
+			Name: "batch_analytics", PeakCores: 1600, PeakMemoryGB: 14400,
+			PeakBandwidthGbps: 80, KFlows: 20,
+			Needs: []netarch.Property{"congestion_control"},
+		})
+	eng, err = netarch.NewEngine(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q1 := netarch.Scenario{
+		Workloads:      []string{"inference_app", "batch_analytics"},
+		PinnedHardware: map[netarch.HardwareKind]string{netarch.KindServer: frozen},
+	}
+	rep, err := eng.Synthesize(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with %s frozen: %v\n", frozen, rep.Verdict)
+	if rep.Verdict == netarch.Infeasible {
+		fmt.Print(rep.Explanation.String())
+		q1.NumServers = 128
+		if rep, err = eng.Synthesize(q1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after growing the fleet to 128 servers of the same SKU: %v\n", rep.Verdict)
+	}
+	fmt.Println()
+
+	// §5.1 query 2: keep Sonata unless re-planning saves a lot.
+	fmt.Println("--- §5.1 Q2: keep Sonata? ---")
+	base := netarch.Scenario{
+		Workloads: []string{"inference_app"},
+		Require:   []netarch.Property{"flow_telemetry", "detect_queue_length"},
+	}
+	keep := base
+	keep.PinnedSystems = []string{"sonata"}
+	a, err := eng.Optimize(keep, []netarch.Objective{{Kind: netarch.MinimizeCost}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := eng.Optimize(base, []netarch.Objective{{Kind: netarch.MinimizeCost}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keep sonata: $%d; re-plan freely: $%d; savings $%d\n\n",
+		a.ObjectiveValues[0], b.ObjectiveValues[0], a.ObjectiveValues[0]-b.ObjectiveValues[0])
+
+	// §5.1 query 3: is CXL pooling worthwhile?
+	fmt.Println("--- §5.1 Q3: deploy CXL memory pooling? ---")
+	for _, pool := range []bool{false, true} {
+		sc := netarch.Scenario{
+			Workloads: []string{"inference_app", "batch_analytics"},
+			Context:   map[string]bool{"cxl_pooling": pool},
+		}
+		r, err := eng.Optimize(sc, []netarch.Objective{{Kind: netarch.MinimizeCost}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Verdict == netarch.Feasible {
+			fmt.Printf("cxl_pooling=%-5v cost=$%d server=%s\n",
+				pool, r.ObjectiveValues[0], r.Design.Hardware[netarch.KindServer])
+		} else {
+			fmt.Printf("cxl_pooling=%-5v INFEASIBLE\n", pool)
+		}
+	}
+}

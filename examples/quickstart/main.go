@@ -1,0 +1,66 @@
+// Quickstart: load the knowledge compendium, ask for a compliant design,
+// then ask for something impossible and read the explanation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"netarch"
+)
+
+func main() {
+	k := netarch.DefaultCatalog()
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. "Give me a design with congestion control and queue-length
+	//    monitoring, under a tight deadline (no research systems)."
+	sc := netarch.Scenario{
+		Require: []netarch.Property{"congestion_control", "capture_delays"},
+		Context: map[string]bool{"deadline_tight": true},
+	}
+	rep, err := eng.Synthesize(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- feasible ask ---")
+	fmt.Println("verdict:", rep.Verdict)
+	fmt.Println("systems:", strings.Join(rep.Design.Systems, ", "))
+	fmt.Printf("hardware: switch=%s nic=%s server=%s\n",
+		rep.Design.Hardware[netarch.KindSwitch],
+		rep.Design.Hardware[netarch.KindNIC],
+		rep.Design.Hardware[netarch.KindServer])
+	fmt.Printf("budget: %d/%d cores, $%d\n\n",
+		rep.Design.Metrics["cores_used"], rep.Design.Metrics["cores_total"],
+		rep.Design.Metrics["cost_usd"])
+
+	// 2. Optimize instead of taking an arbitrary witness: fewest systems,
+	//    then cheapest hardware.
+	opt, err := eng.Optimize(sc, []netarch.Objective{
+		{Kind: netarch.MinimizeSystems},
+		{Kind: netarch.MinimizeCost},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- optimized ---")
+	fmt.Println("systems:", strings.Join(opt.Design.Systems, ", "))
+	fmt.Printf("minima: %d systems, $%d\n\n", opt.ObjectiveValues[0], opt.ObjectiveValues[1])
+
+	// 3. An impossible ask: a lossless RoCE fabric on a network that
+	//    still floods ARP (the Microsoft incident, §2.2 of the paper).
+	bad := netarch.Scenario{
+		PinnedSystems: []string{"rdma-roce"},
+		Context:       map[string]bool{"flooding_enabled": true},
+	}
+	ex, err := eng.Explain(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- impossible ask ---")
+	fmt.Print(ex.String())
+}

@@ -1,0 +1,90 @@
+// Figure 1, interactive: resolve the conditional partial ordering of the
+// six network stacks (ZygOS, Linux, Snap, NetChannel, Shenango,
+// Demikernel) under different deployment contexts, and let the engine
+// pick a stack subject to those preferences.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"netarch"
+)
+
+func main() {
+	k := netarch.DefaultCatalog()
+	stacks := netarch.Fig1Stacks()
+
+	contexts := []struct {
+		label string
+		atoms map[string]bool
+	}{
+		{"low link rate (<40 Gbps)", map[string]bool{}},
+		{"high link rate (≥40 Gbps)", map[string]bool{"load_ge_40gbps": true}},
+		{"high rate + Pony Express", map[string]bool{"load_ge_40gbps": true, "pony_enabled": true}},
+	}
+
+	for _, dim := range []string{"throughput", "isolation", "app_modification"} {
+		fmt.Printf("=== dimension: %s ===\n", dim)
+		for _, ctx := range contexts {
+			r, err := netarch.ResolveOrder(k, dim, ctx.atoms, stacks...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  context: %s\n", ctx.label)
+			fmt.Printf("    hasse edges: %s\n", renderEdges(r.HasseEdges()))
+			fmt.Printf("    best picks:  %s\n", strings.Join(r.Maximal(), ", "))
+			if pairs := r.IncomparablePairs(); len(pairs) > 0 && dim == "isolation" {
+				fmt.Printf("    knowledge gaps (no comparison in the literature): %d pairs,\n", len(pairs))
+				fmt.Printf("      including shenango vs demikernel: %v\n",
+					!r.Comparable("shenango", "demikernel"))
+			}
+		}
+		fmt.Println()
+	}
+
+	// Let the engine choose a stack under the throughput preferences at
+	// high link rate: PreferOrder penalizes deploying a dominated stack.
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Optimize(netarch.Scenario{
+		Require: []netarch.Property{"high_throughput_stack"},
+		Context: map[string]bool{
+			"load_ge_40gbps": true,
+			"app_modifiable": true,
+			"deadline_tight": false,
+		},
+	}, []netarch.Objective{
+		{Kind: netarch.PreferOrder, Dimension: "throughput"},
+		{Kind: netarch.MinimizeSystems},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== engine's pick at ≥40 Gbps (throughput-preferred) ===")
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println("systems:", strings.Join(res.Design.Systems, ", "))
+
+	// Emit the raw Figure 1 throughput panel as DOT for rendering.
+	spec := k.OrderByDimension("throughput")
+	dot, err := spec.DOT("gold3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== graphviz (throughput panel of Figure 1) ===")
+	fmt.Print(dot)
+}
+
+func renderEdges(edges [][2]string) string {
+	if len(edges) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e[0] + ">" + e[1]
+	}
+	return strings.Join(parts, "  ")
+}

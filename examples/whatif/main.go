@@ -1,0 +1,125 @@
+// What-if workflows from §6 of the paper: when a scenario is infeasible,
+// propose the minimal requirements to relax (Suggest); when it is
+// under-specified, report where the solution space forks and which
+// measurements or preferences would make it unique (Disambiguate). Also
+// demonstrates the §3.3 crowd-sourcing flow: an expert contributes a new
+// system encoding in the textual DSL and it merges into the compendium.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"netarch"
+)
+
+// expertContribution is a new system encoding contributed in DSL form —
+// a hypothetical in-network ML-telemetry system with its own caveats.
+const expertContribution = `
+system flowlens {
+    role: monitoring
+    solves: flow_telemetry, detect_queue_length
+    requires switch: P4_PROGRAMMABLE
+    resource p4_stages: 6
+    resource sram_mb: 12
+    maturity: research
+    context: !deadline_tight
+    note origin: "hypothetical contribution showing the crowd-sourcing flow (3.3)"
+}
+
+order monitoring {
+    flowlens > sonata  "compressed sketches halve the stage budget"
+}
+`
+
+func main() {
+	k := netarch.CaseStudy()
+
+	// --- §3.3: merge an expert's DSL contribution -----------------------
+	contrib, err := netarch.ParseDSL(expertContribution)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Merge(contrib); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- merged expert contribution (flowlens) ---")
+	st := k.ComputeStats()
+	fmt.Printf("compendium now: %d systems, %d order edges\n\n", st.Systems, st.OrderEdges)
+
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Suggest: an over-constrained ask -------------------------------
+	// A lossless RoCE fabric, flooding still on, tight deadline, AND a
+	// $150k budget: several of these have to give.
+	impossible := netarch.Scenario{
+		Workloads:     []string{"inference_app"},
+		PinnedSystems: []string{"rdma-roce"},
+		Context: map[string]bool{
+			"flooding_enabled": true,
+			"deadline_tight":   true,
+		},
+		MaxCostUSD: 150_000,
+	}
+	fmt.Println("--- Suggest: what must I give up? ---")
+	sugs, err := eng.Suggest(impossible, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range sugs {
+		fmt.Printf("option %d:\n%s", i+1, s)
+	}
+	fmt.Println()
+
+	// --- Disambiguate: an under-specified ask ---------------------------
+	fmt.Println("--- Disambiguate: where does the solution space fork? ---")
+	open := netarch.Scenario{
+		Workloads: []string{"inference_app"},
+		Context:   map[string]bool{"deadline_tight": false},
+	}
+	d, err := eng.Disambiguate(open, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.String())
+	fmt.Println()
+
+	// --- Rack-aware placement -------------------------------------------
+	// Listing 3 pins the inference app to racks 0-3; give those racks 12
+	// servers each and check the fleet SKU can carry the per-rack share.
+	fmt.Println("--- rack-aware placement (deployed_at = racks[0:3]) ---")
+	placed := netarch.Scenario{
+		Workloads:   []string{"inference_app"},
+		RackServers: netarch.RacksOf([]string{"rack0", "rack1", "rack2", "rack3"}, 12),
+	}
+	rep, err := eng.Synthesize(placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:", rep.Verdict)
+	if rep.Verdict == netarch.Feasible {
+		fmt.Printf("server SKU able to carry the rack share: %s\n",
+			rep.Design.Hardware[netarch.KindServer])
+	} else {
+		fmt.Print(rep.Explanation.String())
+	}
+
+	// Shrink the racks until the placement breaks, to see the explanation.
+	placed.RackServers = netarch.RacksOf([]string{"rack0", "rack1", "rack2", "rack3"}, 2)
+	rep, err = eng.Synthesize(placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwith only 2 servers per rack:", rep.Verdict)
+	if rep.Verdict == netarch.Infeasible {
+		for _, c := range rep.Explanation.Conflicts {
+			if strings.HasPrefix(c.Name, "resources:rack") {
+				fmt.Printf("  %s (%s)\n", c.Name, c.Note)
+			}
+		}
+	}
+}

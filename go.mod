@@ -1,0 +1,3 @@
+module netarch
+
+go 1.22

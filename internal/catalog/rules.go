@@ -1,0 +1,106 @@
+package catalog
+
+import "netarch/internal/kb"
+
+// Rules returns the catalog's free-form predicate-logic facts — the
+// nuances that don't fit the structured system fields. Each rule is the
+// kind of fact the paper argues is "simple to check with predicate logic"
+// (§3.4) yet easy for humans to forget.
+func Rules() []kb.Rule {
+	return []kb.Rule{
+		{
+			// The paper's canonical example (§3.4): an expert who had
+			// anticipated the Microsoft incident would have encoded that
+			// PFC cannot be used with any flooding algorithm.
+			Name: "pfc_no_flooding",
+			Expr: kb.Implies(kb.CtxAtom(CtxPFCOn), kb.Not(kb.CtxAtom(CtxFloodingOn))),
+			Note: "PFC requires absence of cyclic buffer dependencies; flooding breaks up-down routing [Guo SIGCOMM'16]; validated by internal/topo",
+		},
+		{
+			// §2.3: "Deploying Simon for monitoring latencies requires
+			// SmartNICs". The structured field covers NIC timestamps;
+			// the SmartNIC disjunction needs a rule.
+			Name: "simon_needs_smartnic",
+			Expr: kb.Implies(
+				kb.SystemAtom("simon"),
+				kb.Or(
+					kb.CapAtom(kb.KindNIC, kb.CapSmartNICFPGA),
+					kb.CapAtom(kb.KindNIC, kb.CapSmartNICCPU),
+				)),
+			Note: "Simon's per-packet timestamp processing runs on SmartNICs (§2.3)",
+		},
+		{
+			Name: "pony_requires_app_modification",
+			Expr: kb.Implies(kb.CtxAtom(CtxPonyEnabled), kb.CtxAtom(CtxAppModifiable)),
+			Note: "using Pony requires application modification (§3.1)",
+		},
+		{
+			Name: "pony_requires_snap",
+			Expr: kb.Implies(kb.CtxAtom(CtxPonyEnabled), kb.SystemAtom("snap")),
+			Note: "Pony Express is Snap's transport engine [SOSP'19]",
+		},
+		{
+			Name: "tcp_mode_requires_tcp_transport",
+			Expr: kb.Implies(kb.CtxAtom(CtxTCPEnabled), kb.SystemAtom("tcp")),
+			Note: "running stacks in TCP mode presumes the TCP transport",
+		},
+		{
+			Name: "lossless_fabric_needs_pfc",
+			Expr: kb.Implies(kb.CtxAtom(CtxLosslessNeeded), kb.CtxAtom(CtxPFCOn)),
+			Note: "lossless Ethernet is provided by PFC",
+		},
+		{
+			// §2.3: QCN-capable switches lose performance when QCN is
+			// used together with virtualization features.
+			Name: "qcn_with_virtualization_penalty",
+			Expr: kb.Implies(
+				kb.And(kb.SystemAtom("annulus"), kb.CtxAtom(CtxVirtFeatures)),
+				kb.CtxAtom("reduced_switch_perf")),
+			Note: "switches supporting QCN offer lower performance when combined with virtualization features (§2.3)",
+		},
+		{
+			Name: "vswitch_implies_virt_features",
+			Expr: kb.Implies(
+				kb.Or(
+					kb.SystemAtom("ovs"), kb.SystemAtom("ovs-dpdk"),
+					kb.SystemAtom("andromeda"), kb.SystemAtom("vfp"),
+					kb.SystemAtom("accelnet-offload"),
+				),
+				kb.CtxAtom(CtxVirtFeatures)),
+			Note: "any overlay dataplane exercises switch virtualization features",
+		},
+		{
+			// The VMware double-encapsulation incident (§2.2): two overlay
+			// layers encapsulating the same traffic corrupt checksums.
+			Name: "no_double_encapsulation",
+			Expr: kb.Not(kb.And(kb.SystemAtom("ovs"), kb.SystemAtom("andromeda"))),
+			Note: "double encapsulation at different layers caused zero throughput via checksum errors [VMware Antrea 1.7 notes] (§2.2)",
+		},
+		{
+			// Common-sense rule (§3.4): servers must run some network
+			// stack for any transport to exist.
+			Name: "transport_needs_stack",
+			Expr: kb.Implies(
+				kb.Or(kb.SystemAtom("tcp"), kb.SystemAtom("quic"), kb.SystemAtom("homa")),
+				kb.Or(
+					kb.SystemAtom("linux"), kb.SystemAtom("snap"),
+					kb.SystemAtom("netchannel"), kb.SystemAtom("shenango"),
+					kb.SystemAtom("zygos"), kb.SystemAtom("demikernel"),
+					kb.SystemAtom("ix"), kb.SystemAtom("mtcp"), kb.SystemAtom("caladan"),
+				)),
+			Note: "common-sense rule: a transport runs on some host network stack (§3.4)",
+		},
+		{
+			Name: "cubic_fills_buffers",
+			Expr: kb.Implies(kb.SystemAtom("cubic"), kb.Not(kb.CtxAtom(CtxScavenger))),
+			Note: "a buffer-filling CCA in the fabric denies the scavenger assumption delay-based CCAs need (§2.2)",
+		},
+		{
+			Name: "edge_fw_colocation_bonus",
+			Expr: kb.Implies(
+				kb.SystemAtom("edge-proxy-fw"),
+				kb.CtxAtom(CtxEdgeSite)),
+			Note: "deploying a load balancer at an edge site eases colocated firewalls since resources are provisioned (§1)",
+		},
+	}
+}

@@ -1,0 +1,548 @@
+// Package catalog is the seed knowledge compendium of the reproduction:
+// encodings of 50+ deployable systems across the paper's seven roles,
+// ~200 hardware specs, the Figure 1 partial orders, and the expert rules
+// discussed throughout the paper (§2.2, §2.3, §3, §5.1).
+//
+// Facts are sourced from the papers the target publication cites; each
+// encoding carries provenance notes. The catalog is the "initial
+// knowledge-base" the paper expects a small team to bootstrap (§3.3).
+package catalog
+
+import "netarch/internal/kb"
+
+// Context atoms used across the catalog. Queries set these to describe
+// the deployment environment.
+const (
+	CtxLoadGE40G      = "load_ge_40gbps"    // per-server network load ≥ 40 Gbit/s
+	CtxPonyEnabled    = "pony_enabled"      // Snap's Pony Express transport in use
+	CtxTCPEnabled     = "tcp_enabled"       // Snap used with classic TCP
+	CtxDeadlineTight  = "deadline_tight"    // sharp deployment deadline (no research systems)
+	CtxWanDCMix       = "wan_dc_mix"        // competing WAN and DC traffic aggregates
+	CtxAppModifiable  = "app_modifiable"    // applications can be modified/recompiled
+	CtxFloodingOn     = "flooding_enabled"  // L2/ARP flooding present in the fabric
+	CtxPFCOn          = "pfc_enabled"       // priority flow control enabled fabric-wide
+	CtxScavenger      = "scavenger_ok"      // delay-based CC may run as scavenger class
+	CtxDeepQueues     = "deep_queues"       // switch queues provisioned deep
+	CtxLosslessNeeded = "lossless_required" // workload requires a lossless fabric
+	CtxIncastHeavy    = "incast_heavy"      // workload has heavy incast patterns
+	CtxVirtFeatures   = "virt_features_on"  // switch virtualization features in use
+	CtxCXLPooling     = "cxl_pooling"       // CXL memory pooling deployed
+	CtxEdgeSite       = "edge_site"         // deployment at an edge site
+	CtxMultiTenant    = "multi_tenant"      // multi-tenant isolation required
+)
+
+// Properties solved by catalog systems.
+const (
+	PropCongestionControl kb.Property = "congestion_control"
+	PropLowLatencyStack   kb.Property = "low_latency_stack"
+	PropHighTputStack     kb.Property = "high_throughput_stack"
+	PropKernelStack       kb.Property = "kernel_network_stack"
+	PropCaptureDelays     kb.Property = "capture_delays"
+	PropQueueLengths      kb.Property = "detect_queue_length"
+	PropFlowTelemetry     kb.Property = "flow_telemetry"
+	PropPacketFilter      kb.Property = "packet_filtering"
+	PropStatefulFW        kb.Property = "stateful_firewall"
+	PropNetVirt           kb.Property = "network_virtualization"
+	PropLoadBalancing     kb.Property = "load_balancing"
+	PropL4LoadBalancing   kb.Property = "l4_load_balancing"
+	PropReliableTransport kb.Property = "reliable_transport"
+	PropLowLatTransport   kb.Property = "low_latency_transport"
+	PropTailLatency       kb.Property = "tail_latency_control"
+	PropBwAllocation      kb.Property = "bandwidth_allocation"
+)
+
+// Extra capabilities beyond the kb canonical set.
+const (
+	CapLargeReorderBuf kb.Capability = "LARGE_REORDER_BUFFER"
+	CapPacketTrimming  kb.Capability = "PACKET_TRIMMING"
+	CapDeepBuffers     kb.Capability = "DEEP_BUFFERS"
+)
+
+// NetworkStacks returns the network-stack encodings, including the six
+// systems of Figure 1.
+func NetworkStacks() []kb.System {
+	return []kb.System{
+		{
+			Name: "linux", Role: kb.RoleNetworkStack,
+			Solves:   []kb.Property{PropKernelStack, PropHighTputStack},
+			Maturity: "production",
+			Notes:    map[string]string{"throughput": "sufficient below ~40 Gbps [Snap SOSP'19, Shenango NSDI'19]"},
+		},
+		{
+			Name: "zygos", Role: kb.RoleNetworkStack,
+			Solves:          []kb.Property{PropLowLatencyStack},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK}},
+			RequiresContext: []kb.Condition{{Atom: CtxDeadlineTight, Value: false}, {Atom: CtxAppModifiable, Value: true}},
+			AppModification: true,
+			Resources:       map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:        "research",
+			Notes:           map[string]string{"origin": "SOSP'17 work-stealing kernel bypass"},
+		},
+		{
+			Name: "snap", Role: kb.RoleNetworkStack,
+			Solves:    []kb.Property{PropHighTputStack, PropLowLatencyStack},
+			Resources: map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:  "production",
+			Notes:     map[string]string{"pony": "Pony Express improves throughput but requires app modification [SOSP'19]"},
+		},
+		{
+			Name: "netchannel", Role: kb.RoleNetworkStack,
+			Solves:         []kb.Property{PropHighTputStack},
+			UsefulOnlyWhen: []kb.Condition{{Atom: CtxLoadGE40G, Value: true}},
+			Resources:      map[kb.Resource]int64{kb.ResCores: 3},
+			RequiresContext: []kb.Condition{
+				{Atom: CtxDeadlineTight, Value: false},
+			},
+			Maturity: "research",
+			Notes:    map[string]string{"relevance": "only relevant at NIC speeds above 40 Gbit/s [SIGCOMM'22]"},
+		},
+		{
+			Name: "shenango", Role: kb.RoleNetworkStack,
+			Solves: []kb.Property{PropLowLatencyStack},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{
+				kb.KindNIC: {kb.CapInterruptPoll, kb.CapDPDK},
+			},
+			RequiresContext: []kb.Condition{{Atom: CtxDeadlineTight, Value: false}},
+			Resources:       map[kb.Resource]int64{kb.ResCores: 1}, // dedicated spin-polling core
+			Maturity:        "research",
+			Notes: map[string]string{
+				"isolation": "low latency but less process isolation [NSDI'19]",
+				"spin_core": "dedicates a core for spin polling (objective fact, §4.2)",
+			},
+		},
+		{
+			Name: "demikernel", Role: kb.RoleNetworkStack,
+			Solves:          []kb.Property{PropLowLatencyStack},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK}},
+			RequiresContext: []kb.Condition{{Atom: CtxAppModifiable, Value: true}, {Atom: CtxDeadlineTight, Value: false}},
+			AppModification: true,
+			Resources:       map[kb.Resource]int64{kb.ResCores: 1},
+			Maturity:        "research",
+			Notes:           map[string]string{"origin": "SOSP'21 library OS datapath"},
+		},
+		{
+			Name: "ix", Role: kb.RoleNetworkStack,
+			Solves:          []kb.Property{PropLowLatencyStack, PropHighTputStack},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK}},
+			RequiresContext: []kb.Condition{{Atom: CtxDeadlineTight, Value: false}, {Atom: CtxAppModifiable, Value: true}},
+			AppModification: true,
+			Maturity:        "research",
+		},
+		{
+			Name: "mtcp", Role: kb.RoleNetworkStack,
+			Solves:          []kb.Property{PropHighTputStack},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK}},
+			RequiresContext: []kb.Condition{{Atom: CtxAppModifiable, Value: true}},
+			AppModification: true,
+			Maturity:        "research",
+		},
+		{
+			Name: "caladan", Role: kb.RoleNetworkStack,
+			Solves:          []kb.Property{PropLowLatencyStack},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK, kb.CapInterruptPoll}},
+			RequiresContext: []kb.Condition{{Atom: CtxDeadlineTight, Value: false}},
+			Resources:       map[kb.Resource]int64{kb.ResCores: 1},
+			Maturity:        "research",
+		},
+	}
+}
+
+// CongestionControls returns the congestion-control encodings.
+func CongestionControls() []kb.System {
+	return []kb.System{
+		{
+			Name: "cubic", Role: kb.RoleCongestionControl,
+			Solves:   []kb.Property{PropCongestionControl},
+			Maturity: "production",
+			Notes:    map[string]string{"default": "Linux default loss-based CCA"},
+		},
+		{
+			Name: "dctcp", Role: kb.RoleCongestionControl,
+			Solves:       []kb.Property{PropCongestionControl},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapECN}},
+			Maturity:     "production",
+			Notes:        map[string]string{"ecn": "requires ECN marking at switches [SIGCOMM'10]"},
+		},
+		{
+			Name: "hpcc", Role: kb.RoleCongestionControl,
+			Solves:       []kb.Property{PropCongestionControl, PropTailLatency},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapINT}},
+			Maturity:     "research",
+			Notes:        map[string]string{"int": "needs INT-enabled switches [SIGCOMM'19] (§3.1)"},
+		},
+		{
+			Name: "timely", Role: kb.RoleCongestionControl,
+			Solves:       []kb.Property{PropCongestionControl},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+			RequiresContext: []kb.Condition{
+				{Atom: CtxScavenger, Value: true}, {Atom: CtxDeepQueues, Value: true},
+			},
+			Resources: map[kb.Resource]int64{kb.ResQoSClasses: 1},
+			Maturity:  "production",
+			Notes: map[string]string{
+				"qos":   "depends on a specific QoS level for acknowledgements and NIC timestamps (§3.1)",
+				"delay": "delay-based: cannot compete with buffer-filling unless scavenger with deep queues (§2.2)",
+			},
+		},
+		{
+			Name: "swift", Role: kb.RoleCongestionControl,
+			Solves:       []kb.Property{PropCongestionControl, PropTailLatency},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+			RequiresContext: []kb.Condition{
+				{Atom: CtxScavenger, Value: true}, {Atom: CtxDeepQueues, Value: true},
+			},
+			Resources: map[kb.Resource]int64{kb.ResQoSClasses: 1},
+			Maturity:  "production",
+			Notes:     map[string]string{"delay": "delay-based scavenger caveat as Timely (§2.2)"},
+		},
+		{
+			Name: "vegas", Role: kb.RoleCongestionControl,
+			Solves: []kb.Property{PropCongestionControl},
+			RequiresContext: []kb.Condition{
+				{Atom: CtxScavenger, Value: true}, {Atom: CtxDeepQueues, Value: true},
+			},
+			Maturity: "production",
+			Notes:    map[string]string{"delay": "delay-based scavenger caveat (§2.2, RFC 6297)"},
+		},
+		{
+			Name: "annulus", Role: kb.RoleCongestionControl,
+			Solves:         []kb.Property{PropCongestionControl, PropTailLatency},
+			RequiresCaps:   map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapQCN}},
+			UsefulOnlyWhen: []kb.Condition{{Atom: CtxWanDCMix, Value: true}},
+			Maturity:       "research",
+			Notes: map[string]string{
+				"qcn":  "requires switches to support QCN notifications (§2.3)",
+				"when": "required only when there is competing WAN and DC traffic (§4.1)",
+			},
+		},
+		{
+			Name: "bfc", Role: kb.RoleCongestionControl,
+			Solves:       []kb.Property{PropCongestionControl, PropTailLatency},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+			Resources:    map[kb.Resource]int64{kb.ResP4Stages: 6, kb.ResSRAMMB: 4},
+			Maturity:     "research",
+			Notes:        map[string]string{"hw": "per-hop backpressure needs programmable switches [NSDI'22]"},
+		},
+		{
+			Name: "dcqcn", Role: kb.RoleCongestionControl,
+			Solves: []kb.Property{PropCongestionControl},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{
+				kb.KindSwitch: {kb.CapECN}, kb.KindNIC: {kb.CapRDMA},
+			},
+			RequiresContext: []kb.Condition{{Atom: CtxPFCOn, Value: true}},
+			Maturity:        "production",
+			Notes:           map[string]string{"pfc": "RoCE deployments run DCQCN over a PFC fabric [SIGCOMM'15/'16]"},
+		},
+		{
+			Name: "bbr", Role: kb.RoleCongestionControl,
+			Solves:   []kb.Property{PropCongestionControl},
+			Maturity: "production",
+		},
+		{
+			Name: "pcc", Role: kb.RoleCongestionControl,
+			Solves:   []kb.Property{PropCongestionControl},
+			Maturity: "research",
+			RequiresContext: []kb.Condition{
+				{Atom: CtxDeadlineTight, Value: false},
+			},
+		},
+		{
+			Name: "fastpass", Role: kb.RoleCongestionControl,
+			Solves:    []kb.Property{PropBwAllocation, PropCongestionControl},
+			Resources: map[kb.Resource]int64{kb.ResCores: 8}, // centralized arbiter
+			Maturity:  "research",
+			Notes:     map[string]string{"central": "centralized zero-queue allocator [SIGCOMM'14]"},
+		},
+		{
+			Name: "bwe", Role: kb.RoleCongestionControl,
+			Solves:         []kb.Property{PropBwAllocation},
+			UsefulOnlyWhen: []kb.Condition{{Atom: CtxWanDCMix, Value: true}},
+			Resources:      map[kb.Resource]int64{kb.ResCores: 4},
+			Maturity:       "production",
+			Notes:          map[string]string{"scope": "hierarchical WAN bandwidth allocation [SIGCOMM'15]"},
+		},
+	}
+}
+
+// MonitoringSystems returns the monitoring encodings, including Listing 2's
+// SIMON.
+func MonitoringSystems() []kb.System {
+	return []kb.System{
+		{
+			// Listing 2 of the paper, faithfully transcribed.
+			Name: "simon", Role: kb.RoleMonitoring,
+			Solves:         []kb.Property{PropCaptureDelays, PropQueueLengths},
+			RequiresCaps:   map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+			CoresPerKFlows: 2, // CPU_FACTOR * num_flows
+			Maturity:       "research",
+			Notes: map[string]string{
+				"smartnic": "deploying Simon requires SmartNICs (§2.3); encoded as rule simon_needs_smartnic",
+			},
+		},
+		{
+			Name: "pingmesh", Role: kb.RoleMonitoring,
+			Solves:    []kb.Property{PropCaptureDelays},
+			Resources: map[kb.Resource]int64{kb.ResCores: 1},
+			Maturity:  "production",
+		},
+		{
+			Name: "sonata", Role: kb.RoleMonitoring,
+			Solves:       []kb.Property{PropFlowTelemetry, PropQueueLengths},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+			Resources:    map[kb.Resource]int64{kb.ResP4Stages: 8, kb.ResSRAMMB: 8, kb.ResCores: 4},
+			Maturity:     "research",
+			Notes:        map[string]string{"stages": "query pipeline needs 8 P4 stages (§4.2 checks this number)"},
+		},
+		{
+			Name: "marple", Role: kb.RoleMonitoring,
+			Solves:       []kb.Property{PropFlowTelemetry, PropQueueLengths},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+			Resources:    map[kb.Resource]int64{kb.ResP4Stages: 10, kb.ResSRAMMB: 16},
+			Maturity:     "research",
+		},
+		{
+			Name: "everflow", Role: kb.RoleMonitoring,
+			Solves:    []kb.Property{PropFlowTelemetry},
+			Resources: map[kb.Resource]int64{kb.ResCores: 8},
+			Maturity:  "production",
+		},
+		{
+			Name: "int-collector", Role: kb.RoleMonitoring,
+			Solves:       []kb.Property{PropQueueLengths, PropFlowTelemetry},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapINT}},
+			Resources:    map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:     "research",
+		},
+		{
+			Name: "netsight", Role: kb.RoleMonitoring,
+			Solves:    []kb.Property{PropFlowTelemetry},
+			Resources: map[kb.Resource]int64{kb.ResCores: 16},
+			Maturity:  "research",
+			RequiresContext: []kb.Condition{
+				{Atom: CtxDeadlineTight, Value: false},
+			},
+		},
+		{
+			Name: "sketchvisor", Role: kb.RoleMonitoring,
+			Solves:    []kb.Property{PropFlowTelemetry},
+			Resources: map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:  "research",
+		},
+	}
+}
+
+// Firewalls returns the firewall encodings.
+func Firewalls() []kb.System {
+	return []kb.System{
+		{
+			Name: "iptables", Role: kb.RoleFirewall,
+			Solves:          []kb.Property{PropPacketFilter, PropStatefulFW},
+			RequiresSystems: []string{"linux"},
+			Maturity:        "production",
+		},
+		{
+			Name: "ebpf-firewall", Role: kb.RoleFirewall,
+			Solves:          []kb.Property{PropPacketFilter},
+			RequiresSystems: []string{"linux"},
+			Resources:       map[kb.Resource]int64{kb.ResCores: 1},
+			Maturity:        "production",
+		},
+		{
+			Name: "smartnic-firewall", Role: kb.RoleFirewall,
+			Solves:       []kb.Property{PropPacketFilter, PropStatefulFW},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapSmartNICFPGA}},
+			Maturity:     "production",
+			Notes:        map[string]string{"sharing": "shares SmartNIC already provisioned for other offloads (§2.3)"},
+		},
+		{
+			Name: "switch-acl", Role: kb.RoleFirewall,
+			Solves:    []kb.Property{PropPacketFilter},
+			Resources: map[kb.Resource]int64{kb.ResSRAMMB: 2},
+			Maturity:  "production",
+		},
+		{
+			Name: "p4-firewall", Role: kb.RoleFirewall,
+			Solves:       []kb.Property{PropPacketFilter, PropStatefulFW},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+			Resources:    map[kb.Resource]int64{kb.ResP4Stages: 4, kb.ResSRAMMB: 6},
+			Maturity:     "research",
+		},
+		{
+			Name: "edge-proxy-fw", Role: kb.RoleFirewall,
+			Solves:          []kb.Property{PropStatefulFW, PropPacketFilter},
+			RequiresContext: []kb.Condition{{Atom: CtxEdgeSite, Value: true}},
+			Resources:       map[kb.Resource]int64{kb.ResCores: 8},
+			Maturity:        "production",
+			Notes:           map[string]string{"edge": "connection-terminating proxy colocated at edge sites (§1)"},
+		},
+	}
+}
+
+// VirtualSwitches returns the virtualization encodings.
+func VirtualSwitches() []kb.System {
+	return []kb.System{
+		{
+			Name: "ovs", Role: kb.RoleVirtualSwitch,
+			Solves:    []kb.Property{PropNetVirt},
+			Resources: map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:  "production",
+		},
+		{
+			Name: "ovs-dpdk", Role: kb.RoleVirtualSwitch,
+			Solves:        []kb.Property{PropNetVirt},
+			RequiresCaps:  map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapDPDK}},
+			Resources:     map[kb.Resource]int64{kb.ResCores: 4},
+			ConflictsWith: []string{"ovs"},
+			Maturity:      "production",
+		},
+		{
+			Name: "andromeda", Role: kb.RoleVirtualSwitch,
+			Solves:    []kb.Property{PropNetVirt},
+			Resources: map[kb.Resource]int64{kb.ResCores: 4},
+			Maturity:  "production",
+			Notes:     map[string]string{"origin": "NSDI'18 cloud virtualization dataplane"},
+		},
+		{
+			Name: "vfp", Role: kb.RoleVirtualSwitch,
+			Solves:    []kb.Property{PropNetVirt},
+			Resources: map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:  "production",
+		},
+		{
+			Name: "accelnet-offload", Role: kb.RoleVirtualSwitch,
+			Solves:       []kb.Property{PropNetVirt},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapSmartNICFPGA}},
+			Maturity:     "production",
+			Notes:        map[string]string{"offload": "hardware-offloaded virtualization (§2.3 option)"},
+		},
+		{
+			Name: "sriov-passthrough", Role: kb.RoleVirtualSwitch,
+			Solves:        []kb.Property{PropNetVirt},
+			RequiresCaps:  map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapSRIOV}},
+			ConflictsWith: []string{"ovs", "ovs-dpdk"},
+			Maturity:      "production",
+			Notes:         map[string]string{"caveat": "bypasses host policy; conflicts with host vswitch dataplanes"},
+		},
+	}
+}
+
+// LoadBalancers returns the load-balancing encodings.
+func LoadBalancers() []kb.System {
+	return []kb.System{
+		{
+			Name: "ecmp", Role: kb.RoleLoadBalancer,
+			Solves:   []kb.Property{PropLoadBalancing},
+			Maturity: "production",
+			Notes:    map[string]string{"imbalance": "hash collisions cause load imbalance for few large flows (§2.3)"},
+		},
+		{
+			Name: "wcmp", Role: kb.RoleLoadBalancer,
+			Solves:   []kb.Property{PropLoadBalancing},
+			Maturity: "production",
+		},
+		{
+			Name: "packet-spraying", Role: kb.RoleLoadBalancer,
+			Solves:       []kb.Property{PropLoadBalancing},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {CapLargeReorderBuf}},
+			Maturity:     "research",
+			Notes:        map[string]string{"reorder": "requires larger reorder buffers at NICs (§2.3)"},
+		},
+		{
+			Name: "vlb", Role: kb.RoleLoadBalancer,
+			Solves:   []kb.Property{PropLoadBalancing},
+			Maturity: "production",
+		},
+		{
+			Name: "conga", Role: kb.RoleLoadBalancer,
+			Solves:       []kb.Property{PropLoadBalancing},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+			Resources:    map[kb.Resource]int64{kb.ResP4Stages: 5, kb.ResSRAMMB: 4},
+			Maturity:     "research",
+		},
+		{
+			Name: "hedera", Role: kb.RoleLoadBalancer,
+			Solves:        []kb.Property{PropLoadBalancing},
+			RequiresAnyOf: [][]string{{"everflow", "sonata", "int-collector"}},
+			Resources:     map[kb.Resource]int64{kb.ResCores: 4},
+			Maturity:      "research",
+			Notes:         map[string]string{"dep": "centralized scheduler needs a flow-telemetry feed"},
+		},
+		{
+			Name: "maglev", Role: kb.RoleLoadBalancer,
+			Solves:    []kb.Property{PropL4LoadBalancing},
+			Resources: map[kb.Resource]int64{kb.ResCores: 8},
+			Maturity:  "production",
+		},
+		{
+			Name: "ananta", Role: kb.RoleLoadBalancer,
+			Solves:    []kb.Property{PropL4LoadBalancing},
+			Resources: map[kb.Resource]int64{kb.ResCores: 6},
+			Maturity:  "production",
+		},
+	}
+}
+
+// Transports returns the transport-protocol encodings.
+func Transports() []kb.System {
+	return []kb.System{
+		{
+			Name: "tcp", Role: kb.RoleTransport,
+			Solves:   []kb.Property{PropReliableTransport},
+			Maturity: "production",
+		},
+		{
+			Name: "udp", Role: kb.RoleTransport,
+			Solves:   []kb.Property{},
+			Maturity: "production",
+		},
+		{
+			Name: "quic", Role: kb.RoleTransport,
+			Solves:    []kb.Property{PropReliableTransport},
+			Resources: map[kb.Resource]int64{kb.ResCores: 2},
+			Maturity:  "production",
+		},
+		{
+			Name: "rdma-roce", Role: kb.RoleTransport,
+			Solves:          []kb.Property{PropReliableTransport, PropLowLatTransport},
+			RequiresCaps:    map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapRDMA}, kb.KindSwitch: {kb.CapPFC}},
+			RequiresContext: []kb.Condition{{Atom: CtxPFCOn, Value: true}},
+			Maturity:        "production",
+			Notes:           map[string]string{"pfc": "RoCEv2 needs a lossless PFC fabric [SIGCOMM'16]; see rule pfc_no_flooding"},
+		},
+		{
+			Name: "rdma-iwarp", Role: kb.RoleTransport,
+			Solves:       []kb.Property{PropReliableTransport, PropLowLatTransport},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapRDMA}},
+			Maturity:     "production",
+			Notes:        map[string]string{"lossless": "runs over lossy fabrics; no PFC requirement"},
+		},
+		{
+			Name: "homa", Role: kb.RoleTransport,
+			Solves:          []kb.Property{PropLowLatTransport},
+			RequiresContext: []kb.Condition{{Atom: CtxDeadlineTight, Value: false}},
+			Maturity:        "research",
+		},
+		{
+			Name: "ndp", Role: kb.RoleTransport,
+			Solves:       []kb.Property{PropLowLatTransport},
+			RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {CapPacketTrimming}},
+			Maturity:     "research",
+			RequiresContext: []kb.Condition{
+				{Atom: CtxDeadlineTight, Value: false},
+			},
+		},
+	}
+}
+
+// Systems returns every system encoding in the catalog.
+func Systems() []kb.System {
+	var out []kb.System
+	out = append(out, NetworkStacks()...)
+	out = append(out, CongestionControls()...)
+	out = append(out, MonitoringSystems()...)
+	out = append(out, Firewalls()...)
+	out = append(out, VirtualSwitches()...)
+	out = append(out, LoadBalancers()...)
+	out = append(out, Transports()...)
+	return out
+}

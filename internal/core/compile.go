@@ -1,0 +1,869 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netarch/internal/intlin"
+	"netarch/internal/kb"
+	"netarch/internal/logic"
+	"netarch/internal/order"
+	"netarch/internal/sat"
+)
+
+// selector is a named, assumable constraint group. Solving assumes every
+// selector; a final conflict over selectors names the facts in conflict,
+// and deletion-based shrinking turns it into a minimal explanation.
+type selector struct {
+	name string
+	note string
+	lit  sat.Lit
+}
+
+// compiled is one scenario compiled to a SAT+arithmetic instance.
+type compiled struct {
+	kb     *kb.KB
+	sc     *Scenario
+	vocab  *logic.Vocabulary
+	cv     *logic.Converter
+	solver *sat.Solver
+	arith  *intlin.Builder
+
+	sysLit map[string]sat.Lit
+	hwLit  map[string]sat.Lit
+
+	selectors []selector
+	selByName map[string]int // name -> index in selectors
+
+	workloads []*kb.Workload
+	pinnedCtx map[string]bool // context atoms with known values
+
+	// frozen is set once the boolean CNF has been handed to the solver;
+	// from then on the solver is the only variable allocator (the
+	// vocabulary's index space is fixed), so later selectors must come
+	// from solver.NewVar.
+	frozen bool
+
+	coresUsed  intlin.Int
+	coresTotal intlin.Int
+	costTotal  intlin.Int
+
+	totalKFlows int64
+	maxPeakBW   int64
+}
+
+// exclusiveRoles lists roles where co-deploying two systems is incoherent
+// (one network stack per host fleet, one fabric CCA, one vswitch dataplane,
+// one load-balancing scheme).
+var exclusiveRoles = map[kb.Role]bool{
+	kb.RoleNetworkStack:      true,
+	kb.RoleCongestionControl: true,
+	kb.RoleVirtualSwitch:     true,
+	kb.RoleLoadBalancer:      true,
+}
+
+// compile lowers the KB + scenario into a solver instance.
+func (e *Engine) compile(sc *Scenario) (*compiled, error) {
+	c := &compiled{
+		kb:        e.kb,
+		sc:        sc,
+		vocab:     logic.NewVocabulary(),
+		sysLit:    make(map[string]sat.Lit),
+		hwLit:     make(map[string]sat.Lit),
+		selByName: make(map[string]int),
+		pinnedCtx: make(map[string]bool),
+	}
+	c.cv = logic.NewConverter(c.vocab)
+
+	if err := c.pickWorkloads(); err != nil {
+		return nil, err
+	}
+	c.deriveContext()
+
+	c.declareVars()
+	c.hardwareSelection()
+	c.capabilityDefinitions()
+	c.systemConstraints()
+	c.propertyDefinitions()
+	c.structuralConstraints()
+	c.ruleConstraints()
+	c.contextPins()
+	c.workloadConstraints()
+	c.scenarioPins()
+	if err := c.performanceBounds(); err != nil {
+		return nil, err
+	}
+
+	// Boolean phase done: materialize the CNF into a solver, then bolt
+	// the arithmetic circuits on top of the same variable space.
+	c.solver = sat.NewSolver()
+	c.solver.EnsureVars(c.vocab.Len())
+	for _, cl := range c.cv.CNF.Clauses {
+		lits := make([]sat.Lit, len(cl))
+		for i, l := range cl {
+			lits[i] = sat.Lit(l)
+		}
+		c.solver.AddClause(lits...)
+	}
+	c.frozen = true
+	c.arith = intlin.New(c.solver)
+	c.resourceConstraints()
+	c.costModel()
+	return c, nil
+}
+
+// pickWorkloads resolves the scenario's workload names.
+func (c *compiled) pickWorkloads() error {
+	if len(c.sc.Workloads) == 0 {
+		for i := range c.kb.Workloads {
+			c.workloads = append(c.workloads, &c.kb.Workloads[i])
+		}
+		return nil
+	}
+	for _, name := range c.sc.Workloads {
+		w := c.kb.WorkloadByName(name)
+		if w == nil {
+			return fmt.Errorf("core: unknown workload %q", name)
+		}
+		c.workloads = append(c.workloads, w)
+	}
+	return nil
+}
+
+// deriveContext computes the pinned context atoms: scenario pins,
+// workload properties, and workload-derived facts (§3.1's "easy to
+// accurately characterize" quantities).
+func (c *compiled) deriveContext() {
+	for _, w := range c.workloads {
+		for _, p := range w.Properties {
+			c.pinnedCtx[p] = true
+		}
+		c.totalKFlows += w.KFlows
+		if w.PeakBandwidthGbps > c.maxPeakBW {
+			c.maxPeakBW = w.PeakBandwidthGbps
+		}
+	}
+	if _, set := c.pinnedCtx["load_ge_40gbps"]; !set {
+		if _, userSet := c.sc.Context["load_ge_40gbps"]; !userSet {
+			c.pinnedCtx["load_ge_40gbps"] = c.maxPeakBW >= 40
+		}
+	}
+	// Scenario pins override workload-derived values.
+	for atom, v := range c.sc.Context {
+		c.pinnedCtx[atom] = v
+	}
+}
+
+// atom helpers ---------------------------------------------------------------
+
+func (c *compiled) sysVar(name string) logic.Var { return c.vocab.Get("system:" + name) }
+func (c *compiled) hwVar(name string) logic.Var  { return c.vocab.Get("hw:" + name) }
+func (c *compiled) ctxVar(name string) logic.Var { return c.vocab.Get("ctx:" + name) }
+func (c *compiled) propVar(p kb.Property) logic.Var {
+	return c.vocab.Get("prop:" + string(p))
+}
+func (c *compiled) capVar(kind kb.HardwareKind, cap kb.Capability) logic.Var {
+	return c.vocab.Get("cap:" + string(kind) + ":" + string(cap))
+}
+
+// addSelector registers a named assumable group and returns its literal.
+// Before the CNF is materialized, selector variables live in the shared
+// vocabulary (they appear inside formulas); afterwards they are allocated
+// directly from the solver so they never collide with arithmetic-circuit
+// variables.
+func (c *compiled) addSelector(name, note string) sat.Lit {
+	if i, ok := c.selByName[name]; ok {
+		return c.selectors[i].lit
+	}
+	var l sat.Lit
+	if c.frozen {
+		l = sat.Lit(c.solver.NewVar())
+	} else {
+		l = sat.Lit(c.vocab.Get("sel:" + name))
+	}
+	c.selByName[name] = len(c.selectors)
+	c.selectors = append(c.selectors, selector{name: name, note: note, lit: l})
+	return l
+}
+
+// assertGuarded asserts f under a named selector.
+func (c *compiled) assertGuarded(name, note string, f logic.Formula) {
+	l := c.addSelector(name, note)
+	c.cv.Assert(logic.Implies(logic.V(logic.Var(l)), f))
+}
+
+// declareVars allocates the well-known variables in a stable order so the
+// model read-back is deterministic.
+func (c *compiled) declareVars() {
+	for i := range c.kb.Systems {
+		c.sysLit[c.kb.Systems[i].Name] = sat.Lit(c.sysVar(c.kb.Systems[i].Name))
+	}
+	for _, h := range c.allowedHardwareAll() {
+		c.hwLit[h.Name] = sat.Lit(c.hwVar(h.Name))
+	}
+}
+
+// allowedHardware returns the candidate SKUs for one kind, honouring
+// scenario restrictions and pins.
+func (c *compiled) allowedHardware(kind kb.HardwareKind) []*kb.Hardware {
+	if pinned, ok := c.sc.PinnedHardware[kind]; ok {
+		if h := c.kb.HardwareByName(pinned); h != nil && h.Kind == kind {
+			return []*kb.Hardware{h}
+		}
+		return nil
+	}
+	if allowed, ok := c.sc.AllowedHardware[kind]; ok {
+		var out []*kb.Hardware
+		for _, name := range allowed {
+			if h := c.kb.HardwareByName(name); h != nil && h.Kind == kind {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	return c.kb.HardwareByKind(kind)
+}
+
+func (c *compiled) allowedHardwareAll() []*kb.Hardware {
+	var out []*kb.Hardware
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		out = append(out, c.allowedHardware(kind)...)
+	}
+	return out
+}
+
+// hardwareSelection asserts exactly-one SKU per hardware kind.
+func (c *compiled) hardwareSelection() {
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		hws := c.allowedHardware(kind)
+		name := fmt.Sprintf("hardware:%s:selection", kind)
+		note := fmt.Sprintf("exactly one %s model must be selected", kind)
+		if len(hws) == 0 {
+			c.assertGuarded(name, note+" (no candidates available)", logic.False)
+			continue
+		}
+		atoms := make([]logic.Formula, len(hws))
+		for i, h := range hws {
+			atoms[i] = logic.V(c.hwVar(h.Name))
+		}
+		c.assertGuarded(name, note, logic.Or(atoms...))
+		// Pairwise at-most-one (unguarded: definitional structure).
+		for i := 0; i < len(atoms); i++ {
+			for j := i + 1; j < len(atoms); j++ {
+				c.cv.Assert(logic.Or(logic.Not(atoms[i]), logic.Not(atoms[j])))
+			}
+		}
+		// SKUs outside the allowed set are off.
+		allowedSet := map[string]bool{}
+		for _, h := range hws {
+			allowedSet[h.Name] = true
+		}
+		for _, h := range c.kb.HardwareByKind(kind) {
+			if !allowedSet[h.Name] {
+				if _, declared := c.hwLit[h.Name]; declared {
+					c.cv.Assert(logic.Not(logic.V(c.hwVar(h.Name))))
+				}
+			}
+		}
+	}
+}
+
+// capabilityDefinitions ties cap atoms to the selected hardware:
+// cap(kind, X) ↔ OR of selected SKUs of that kind having X.
+func (c *compiled) capabilityDefinitions() {
+	caps := map[kb.HardwareKind]map[kb.Capability][]logic.Formula{}
+	referenced := c.referencedCaps()
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		caps[kind] = map[kb.Capability][]logic.Formula{}
+		for cap := range referenced[kind] {
+			caps[kind][cap] = nil
+		}
+		for _, h := range c.allowedHardware(kind) {
+			for _, cap := range h.Caps {
+				if _, ok := referenced[kind][cap]; ok {
+					caps[kind][cap] = append(caps[kind][cap], logic.V(c.hwVar(h.Name)))
+				}
+			}
+		}
+		for cap, providers := range caps[kind] {
+			c.cv.Assert(logic.Iff(logic.V(c.capVar(kind, cap)), logic.Or(providers...)))
+		}
+	}
+}
+
+// referencedCaps collects every capability atom mentioned by systems or
+// rules, so only those get defined.
+func (c *compiled) referencedCaps() map[kb.HardwareKind]map[kb.Capability]bool {
+	out := map[kb.HardwareKind]map[kb.Capability]bool{
+		kb.KindSwitch: {}, kb.KindNIC: {}, kb.KindServer: {},
+	}
+	for i := range c.kb.Systems {
+		for kind, caps := range c.kb.Systems[i].RequiresCaps {
+			for _, cap := range caps {
+				out[kind][cap] = true
+			}
+		}
+	}
+	for _, r := range c.kb.Rules {
+		for _, atom := range r.Expr.Atoms(nil) {
+			var kindStr, capStr string
+			if parseCapAtom(atom, &kindStr, &capStr) {
+				k := kb.HardwareKind(kindStr)
+				if _, ok := out[k]; ok {
+					out[k][kb.Capability(capStr)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseCapAtom splits "cap:<kind>:<cap>".
+func parseCapAtom(atom string, kind, cap *string) bool {
+	const prefix = "cap:"
+	if len(atom) <= len(prefix) || atom[:len(prefix)] != prefix {
+		return false
+	}
+	rest := atom[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ':' {
+			*kind = rest[:i]
+			*cap = rest[i+1:]
+			return *kind != "" && *cap != ""
+		}
+	}
+	return false
+}
+
+// systemConstraints encodes each system's deployment requirements, one
+// selector per requirement class for fine-grained explanations.
+func (c *compiled) systemConstraints() {
+	for i := range c.kb.Systems {
+		s := &c.kb.Systems[i]
+		sys := logic.V(c.sysVar(s.Name))
+
+		if len(s.RequiresCaps) > 0 {
+			var reqs []logic.Formula
+			kinds := make([]string, 0, len(s.RequiresCaps))
+			for kind := range s.RequiresCaps {
+				kinds = append(kinds, string(kind))
+			}
+			sort.Strings(kinds)
+			for _, kindStr := range kinds {
+				kind := kb.HardwareKind(kindStr)
+				for _, cap := range s.RequiresCaps[kind] {
+					reqs = append(reqs, logic.V(c.capVar(kind, cap)))
+				}
+			}
+			c.assertGuarded(
+				"system:"+s.Name+":caps",
+				fmt.Sprintf("%s requires hardware capabilities %v", s.Name, s.RequiresCaps),
+				logic.Implies(sys, logic.And(reqs...)))
+		}
+		if len(s.RequiresSystems) > 0 {
+			var deps []logic.Formula
+			for _, d := range s.RequiresSystems {
+				deps = append(deps, logic.V(c.sysVar(d)))
+			}
+			c.assertGuarded(
+				"system:"+s.Name+":deps",
+				fmt.Sprintf("%s requires %v", s.Name, s.RequiresSystems),
+				logic.Implies(sys, logic.And(deps...)))
+		}
+		for gi, group := range s.RequiresAnyOf {
+			var opts []logic.Formula
+			for _, d := range group {
+				opts = append(opts, logic.V(c.sysVar(d)))
+			}
+			c.assertGuarded(
+				fmt.Sprintf("system:%s:anyof:%d", s.Name, gi),
+				fmt.Sprintf("%s requires one of %v", s.Name, group),
+				logic.Implies(sys, logic.Or(opts...)))
+		}
+		if len(s.ConflictsWith) > 0 {
+			var nots []logic.Formula
+			for _, d := range s.ConflictsWith {
+				nots = append(nots, logic.Not(logic.V(c.sysVar(d))))
+			}
+			c.assertGuarded(
+				"system:"+s.Name+":conflicts",
+				fmt.Sprintf("%s conflicts with %v", s.Name, s.ConflictsWith),
+				logic.Implies(sys, logic.And(nots...)))
+		}
+		if len(s.RequiresContext) > 0 {
+			var conds []logic.Formula
+			for _, cond := range s.RequiresContext {
+				f, err := kb.ConditionExpr(cond).Compile(c.vocab.Get)
+				if err != nil {
+					// Conditions are atoms; Compile cannot fail.
+					panic(err)
+				}
+				conds = append(conds, f)
+			}
+			c.assertGuarded(
+				"system:"+s.Name+":context",
+				fmt.Sprintf("%s requires context %v", s.Name, s.RequiresContext),
+				logic.Implies(sys, logic.And(conds...)))
+		}
+		if s.AppModification {
+			c.assertGuarded(
+				"system:"+s.Name+":app_modification",
+				fmt.Sprintf("%s requires modifying applications", s.Name),
+				logic.Implies(sys, logic.V(c.ctxVar("app_modifiable"))))
+		}
+	}
+}
+
+// usefulFormula returns the formula under which a deployed system
+// contributes its Solves properties.
+func (c *compiled) usefulFormula(s *kb.System) logic.Formula {
+	var conds []logic.Formula
+	for _, cond := range s.UsefulOnlyWhen {
+		f, err := kb.ConditionExpr(cond).Compile(c.vocab.Get)
+		if err != nil {
+			panic(err)
+		}
+		conds = append(conds, f)
+	}
+	return logic.And(conds...)
+}
+
+// propertyDefinitions ties property atoms to providing systems:
+// prop(p) ↔ OR over systems solving p of (deployed ∧ useful).
+func (c *compiled) propertyDefinitions() {
+	provides := map[kb.Property][]logic.Formula{}
+	for i := range c.kb.Systems {
+		s := &c.kb.Systems[i]
+		contrib := logic.And(logic.V(c.sysVar(s.Name)), c.usefulFormula(s))
+		for _, p := range s.Solves {
+			provides[p] = append(provides[p], contrib)
+		}
+	}
+	props := make([]string, 0, len(provides))
+	for p := range provides {
+		props = append(props, string(p))
+	}
+	sort.Strings(props)
+	for _, p := range props {
+		c.cv.Assert(logic.Iff(
+			logic.V(c.propVar(kb.Property(p))),
+			logic.Or(provides[kb.Property(p)]...)))
+	}
+	// Properties nobody provides are false.
+	needed := map[kb.Property]bool{}
+	for _, w := range c.workloads {
+		for _, p := range w.Needs {
+			needed[p] = true
+		}
+	}
+	for _, p := range c.sc.Require {
+		needed[p] = true
+	}
+	for p := range needed {
+		if _, ok := provides[p]; !ok {
+			c.cv.Assert(logic.Not(logic.V(c.propVar(p))))
+		}
+	}
+}
+
+// structuralConstraints encodes role exclusivity and the common-sense
+// "every fleet runs a network stack" rule (§3.4).
+func (c *compiled) structuralConstraints() {
+	for _, role := range kb.Roles() {
+		if !exclusiveRoles[role] {
+			continue
+		}
+		systems := c.kb.SystemsByRole(role)
+		for i := 0; i < len(systems); i++ {
+			for j := i + 1; j < len(systems); j++ {
+				c.assertGuarded(
+					fmt.Sprintf("structural:exclusive:%s", role),
+					fmt.Sprintf("at most one %s may be deployed fleet-wide", role),
+					logic.Or(
+						logic.Not(logic.V(c.sysVar(systems[i].Name))),
+						logic.Not(logic.V(c.sysVar(systems[j].Name)))))
+			}
+		}
+	}
+	stacks := c.kb.SystemsByRole(kb.RoleNetworkStack)
+	if len(stacks) > 0 {
+		var opts []logic.Formula
+		for _, s := range stacks {
+			opts = append(opts, logic.V(c.sysVar(s.Name)))
+		}
+		c.assertGuarded(
+			"structural:need_network_stack",
+			"common-sense: every server fleet runs some network stack (§3.4)",
+			logic.Or(opts...))
+	}
+}
+
+// ruleConstraints asserts every free-form KB rule under its own selector.
+func (c *compiled) ruleConstraints() {
+	for _, r := range c.kb.Rules {
+		f, err := r.Expr.Compile(c.vocab.Get)
+		if err != nil {
+			panic(fmt.Sprintf("core: rule %q failed to compile after validation: %v", r.Name, err))
+		}
+		c.assertGuarded("rule:"+r.Name, r.Note, f)
+	}
+}
+
+// contextPins asserts the derived/pinned context atoms.
+func (c *compiled) contextPins() {
+	atoms := make([]string, 0, len(c.pinnedCtx))
+	for a := range c.pinnedCtx {
+		atoms = append(atoms, a)
+	}
+	sort.Strings(atoms)
+	for _, a := range atoms {
+		v := logic.V(c.ctxVar(a))
+		f := v
+		if !c.pinnedCtx[a] {
+			f = logic.Not(v)
+		}
+		c.assertGuarded(
+			"context:"+a,
+			fmt.Sprintf("environment fact: %s=%v", a, c.pinnedCtx[a]),
+			f)
+	}
+}
+
+// workloadConstraints asserts every workload's needs.
+func (c *compiled) workloadConstraints() {
+	for _, w := range c.workloads {
+		for _, p := range w.Needs {
+			c.assertGuarded(
+				fmt.Sprintf("workload:%s:needs:%s", w.Name, p),
+				fmt.Sprintf("workload %s needs %s", w.Name, p),
+				logic.V(c.propVar(p)))
+		}
+	}
+	for _, p := range c.sc.Require {
+		c.assertGuarded(
+			fmt.Sprintf("require:%s", p),
+			fmt.Sprintf("architect requires %s", p),
+			logic.V(c.propVar(p)))
+	}
+}
+
+// scenarioPins asserts pinned and forbidden systems.
+func (c *compiled) scenarioPins() {
+	for _, s := range c.sc.PinnedSystems {
+		c.assertGuarded(
+			"pin:system:"+s,
+			fmt.Sprintf("architect pinned %s as deployed", s),
+			logic.V(c.sysVar(s)))
+	}
+	for _, s := range c.sc.ForbiddenSystems {
+		c.assertGuarded(
+			"forbid:system:"+s,
+			fmt.Sprintf("architect forbade %s", s),
+			logic.Not(logic.V(c.sysVar(s))))
+	}
+}
+
+// performanceBounds encodes Listing 3-style bounds against the resolved
+// partial orders.
+func (c *compiled) performanceBounds() error {
+	for _, b := range c.sc.Bounds {
+		resolved, err := c.resolveOrder(b.Dimension)
+		if err != nil {
+			return err
+		}
+		if resolved == nil {
+			return fmt.Errorf("core: unknown order dimension %q", b.Dimension)
+		}
+		var qualifying []logic.Formula
+		for i := range c.kb.Systems {
+			name := c.kb.Systems[i].Name
+			ok := resolved.Better(name, b.Reference)
+			if !b.Strict {
+				ok = ok || name == b.Reference || resolved.Equal(name, b.Reference)
+			}
+			if ok {
+				qualifying = append(qualifying, logic.V(c.sysVar(name)))
+			}
+		}
+		c.assertGuarded(
+			fmt.Sprintf("bound:%s:better_than:%s", b.Dimension, b.Reference),
+			fmt.Sprintf("performance bound: deployed %s choice must beat %s", b.Dimension, b.Reference),
+			logic.Or(qualifying...))
+	}
+	return nil
+}
+
+// resolveOrder resolves a KB order dimension under the pinned context
+// (unpinned atoms are treated as false — conservative: only edges whose
+// guards are entailed by known facts apply).
+func (c *compiled) resolveOrder(dimension string) (*order.Resolved, error) {
+	spec := c.kb.OrderByDimension(dimension)
+	if spec == nil {
+		return nil, nil
+	}
+	g := order.New(dimension)
+	compileGuard := func(e *kb.Expr) (logic.Formula, error) {
+		if e == nil {
+			return logic.True, nil
+		}
+		return e.Compile(c.vocab.Get)
+	}
+	for _, e := range spec.Edges {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(e.Better, e.Worse, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range spec.Equals {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEqual(e.A, e.B, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	ctx := order.Context{}
+	for atom, v := range c.pinnedCtx {
+		ctx[c.ctxVar(atom)] = v
+	}
+	return g.Resolve(ctx)
+}
+
+// resourceConstraints adds the arithmetic budgets (§3.1's accurately
+// characterizable quantities): cores, P4 stages, switch SRAM, QoS
+// classes, and NIC line rate.
+func (c *compiled) resourceConstraints() {
+	ns := int64(c.sc.numServers())
+
+	// Total cores provided by the selected server SKU.
+	var maxCores int64 = 1
+	for _, h := range c.allowedHardware(kb.KindServer) {
+		if v := h.Q(kb.ResCores) * ns; v > maxCores {
+			maxCores = v
+		}
+	}
+	c.coresTotal = c.arith.Var(maxCores)
+	for _, h := range c.allowedHardware(kb.KindServer) {
+		c.arith.AssertImplies(c.hwLit[h.Name],
+			c.arith.EqConst(c.coresTotal, h.Q(kb.ResCores)*ns))
+	}
+
+	// Cores consumed: workload peaks + per-system overheads.
+	var wlCores int64
+	for _, w := range c.workloads {
+		wlCores += w.PeakCores
+	}
+	terms := []intlin.Int{c.arith.Const(wlCores)}
+	for i := range c.kb.Systems {
+		s := &c.kb.Systems[i]
+		cost := s.Resources[kb.ResCores]*ns + s.CoresPerKFlows*c.totalKFlows
+		if cost > 0 {
+			terms = append(terms, c.arith.ScaledBool(c.sysLit[s.Name], cost))
+		}
+	}
+	c.coresUsed = c.arith.Sum(terms...)
+	selCores := c.addSelector("resources:cores",
+		fmt.Sprintf("deployed systems and workloads must fit %d servers' cores", ns))
+	c.arith.AssertImplies(selCores, c.arith.Leq(c.coresUsed, c.coresTotal))
+
+	// Memory: workloads must fit the selected server SKU's aggregate
+	// memory. CXL memory pooling (an architect decision, pinned via the
+	// cxl_pooling context atom) stretches CXL-capable servers' capacity
+	// by 50% — the quantitative lever behind the §5.1 "is CXL pooling
+	// worthwhile?" query.
+	var wlMem int64
+	for _, w := range c.workloads {
+		wlMem += w.PeakMemoryGB
+	}
+	if wlMem > 0 {
+		cxlOn := c.pinnedCtx["cxl_pooling"]
+		var maxMem int64 = 1
+		memOf := func(h *kb.Hardware) int64 {
+			m := h.Q(kb.ResMemoryGB) * ns
+			if cxlOn && h.HasCap(kb.CapCXL) {
+				m += m / 2
+			}
+			return m
+		}
+		for _, h := range c.allowedHardware(kb.KindServer) {
+			if v := memOf(h); v > maxMem {
+				maxMem = v
+			}
+		}
+		memTotal := c.arith.Var(maxMem)
+		for _, h := range c.allowedHardware(kb.KindServer) {
+			c.arith.AssertImplies(c.hwLit[h.Name], c.arith.EqConst(memTotal, memOf(h)))
+		}
+		selMem := c.addSelector("resources:memory",
+			fmt.Sprintf("workloads need %d GB of aggregate server memory", wlMem))
+		c.arith.AssertImplies(selMem, c.arith.GeqConst(memTotal, wlMem))
+	}
+
+	// Rack-level placement: each workload pinned to racks must fit its
+	// per-rack core share into the rack's servers of the selected SKU.
+	// This grounds Listing 3's "deployed_at = racks[0:3]" in capacity.
+	if c.sc.RackServers != nil {
+		rackDemand := map[string]int64{}
+		for _, w := range c.workloads {
+			if len(w.DeployedAt) == 0 || w.PeakCores == 0 {
+				continue
+			}
+			share := (w.PeakCores + int64(len(w.DeployedAt)) - 1) / int64(len(w.DeployedAt))
+			for _, r := range w.DeployedAt {
+				rackDemand[r] += share
+			}
+		}
+		racks := make([]string, 0, len(rackDemand))
+		for r := range rackDemand {
+			racks = append(racks, r)
+		}
+		sort.Strings(racks)
+		for _, r := range racks {
+			nRack, known := c.sc.RackServers[r]
+			sel := c.addSelector("resources:rack:"+r,
+				fmt.Sprintf("workloads placed on %s need %d cores there", r, rackDemand[r]))
+			if !known {
+				// Workload names a rack the fleet does not have.
+				c.solver.AddClause(sel.Flip())
+				continue
+			}
+			for _, h := range c.allowedHardware(kb.KindServer) {
+				if h.Q(kb.ResCores)*int64(nRack) < rackDemand[r] {
+					// This SKU cannot provision the rack: selecting it
+					// violates the rack constraint.
+					c.solver.AddClause(sel.Flip(), c.hwLit[h.Name].Flip())
+				}
+			}
+		}
+	}
+
+	// P4 stages and SRAM against the selected switch.
+	c.switchBudget(kb.ResP4Stages, "resources:p4_stages",
+		"P4 programs must fit the selected switch's pipeline stages")
+	c.switchBudget(kb.ResSRAMMB, "resources:switch_sram",
+		"P4 programs must fit the selected switch's SRAM")
+
+	// QoS classes: fabrics expose 8 traffic classes.
+	var qosTerms []intlin.Int
+	for i := range c.kb.Systems {
+		s := &c.kb.Systems[i]
+		if q := s.Resources[kb.ResQoSClasses]; q > 0 {
+			qosTerms = append(qosTerms, c.arith.ScaledBool(c.sysLit[s.Name], q))
+		}
+	}
+	if len(qosTerms) > 0 {
+		used := c.arith.Sum(qosTerms...)
+		sel := c.addSelector("resources:qos_classes",
+			"systems contend for the fabric's 8 QoS classes (§2.2 resource contention)")
+		c.arith.AssertImplies(sel, c.arith.LeqConst(used, 8))
+	}
+
+	// NIC line rate must cover the peak per-server workload bandwidth.
+	if c.maxPeakBW > 0 {
+		sel := c.addSelector("resources:nic_bandwidth",
+			fmt.Sprintf("the NIC must carry the %d Gbit/s peak workload", c.maxPeakBW))
+		for _, h := range c.allowedHardware(kb.KindNIC) {
+			if h.Q(kb.ResBandwidthGbps) < c.maxPeakBW {
+				c.solver.AddClause(sel.Flip(), c.hwLit[h.Name].Flip())
+			}
+		}
+	}
+}
+
+// switchBudget constrains the sum of a per-system resource against the
+// selected switch's capacity for it.
+func (c *compiled) switchBudget(res kb.Resource, selName, note string) {
+	var terms []intlin.Int
+	for i := range c.kb.Systems {
+		s := &c.kb.Systems[i]
+		if q := s.Resources[res]; q > 0 {
+			terms = append(terms, c.arith.ScaledBool(c.sysLit[s.Name], q))
+		}
+	}
+	if len(terms) == 0 {
+		return
+	}
+	used := c.arith.Sum(terms...)
+	var maxBudget int64 = 1
+	for _, h := range c.allowedHardware(kb.KindSwitch) {
+		if v := h.Q(res); v > maxBudget {
+			maxBudget = v
+		}
+	}
+	budget := c.arith.Var(maxBudget)
+	for _, h := range c.allowedHardware(kb.KindSwitch) {
+		c.arith.AssertImplies(c.hwLit[h.Name], c.arith.EqConst(budget, h.Q(res)))
+	}
+	sel := c.addSelector(selName, note)
+	c.arith.AssertImplies(sel, c.arith.Leq(used, budget))
+}
+
+// costModel builds the total hardware cost and the optional budget cap.
+func (c *compiled) costModel() {
+	ns := int64(c.sc.numServers())
+	nsw := int64(c.sc.numSwitches())
+	var terms []intlin.Int
+	add := func(kind kb.HardwareKind, count int64) {
+		for _, h := range c.allowedHardware(kind) {
+			if cost := h.CostUSD * count; cost > 0 {
+				terms = append(terms, c.arith.ScaledBool(c.hwLit[h.Name], cost))
+			}
+		}
+	}
+	add(kb.KindServer, ns)
+	add(kb.KindNIC, ns)
+	add(kb.KindSwitch, nsw)
+	c.costTotal = c.arith.Sum(terms...)
+	if c.sc.MaxCostUSD > 0 {
+		sel := c.addSelector("budget:cost",
+			fmt.Sprintf("total hardware cost must not exceed $%d", c.sc.MaxCostUSD))
+		c.arith.AssertImplies(sel, c.arith.LeqConst(c.costTotal, c.sc.MaxCostUSD))
+	}
+}
+
+// assumptions returns all selector literals.
+func (c *compiled) assumptions() []sat.Lit {
+	out := make([]sat.Lit, len(c.selectors))
+	for i, s := range c.selectors {
+		out[i] = s.lit
+	}
+	return out
+}
+
+// designFromModel reads a Design off the current solver model.
+func (c *compiled) designFromModel() *Design {
+	model := c.solver.Model()
+	lit := func(l sat.Lit) bool { return model[l.Var()-1] != l.Neg() }
+	d := &Design{
+		Hardware: map[kb.HardwareKind]string{},
+		Context:  map[string]bool{},
+		Metrics:  map[string]int64{},
+	}
+	for i := range c.kb.Systems {
+		name := c.kb.Systems[i].Name
+		if lit(c.sysLit[name]) {
+			d.Systems = append(d.Systems, name)
+		}
+	}
+	sort.Strings(d.Systems)
+	for _, h := range c.allowedHardwareAll() {
+		if lit(c.hwLit[h.Name]) {
+			d.Hardware[h.Kind] = h.Name
+		}
+	}
+	// Context atoms: every vocab name with the ctx: prefix.
+	for i := 1; i <= c.vocab.Len(); i++ {
+		name := c.vocab.Name(logic.Var(i))
+		if len(name) > 4 && name[:4] == "ctx:" {
+			d.Context[name[4:]] = model[i-1]
+		}
+	}
+	d.Metrics["cores_used"] = intlin.ValueOf(c.coresUsed, model)
+	d.Metrics["cores_total"] = intlin.ValueOf(c.coresTotal, model)
+	d.Metrics["cost_usd"] = intlin.ValueOf(c.costTotal, model)
+	return d
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netarch/internal/kb"
+	"netarch/internal/sat"
+)
+
+// Engine is the reasoning engine over one knowledge base. It is cheap to
+// construct; each query compiles a fresh solver instance, so an Engine is
+// safe for concurrent queries.
+type Engine struct {
+	kb *kb.KB
+}
+
+// New validates the knowledge base and returns an engine over it.
+func New(k *kb.KB) (*Engine, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{kb: k}, nil
+}
+
+// KB returns the engine's knowledge base.
+func (e *Engine) KB() *kb.KB { return e.kb }
+
+// Synthesize answers the existential query: does a compliant design exist
+// for the scenario? On success the report carries a witness design; on
+// failure it carries a minimal explanation.
+func (e *Engine) Synthesize(sc Scenario) (*Report, error) {
+	c, err := e.compile(&sc)
+	if err != nil {
+		return nil, err
+	}
+	return e.decide(c, nil)
+}
+
+// Check verifies a concrete design against the scenario: exactly the
+// design's systems deployed and its hardware selected. On violation the
+// explanation names the facts the design breaks.
+func (e *Engine) Check(design Design, sc Scenario) (*Report, error) {
+	// Pin the design by construction: every system var gets a
+	// pin/forbid selector so explanations reference the design choices.
+	sc2 := sc
+	sc2.PinnedSystems = append([]string(nil), sc.PinnedSystems...)
+	sc2.ForbiddenSystems = append([]string(nil), sc.ForbiddenSystems...)
+	deployed := map[string]bool{}
+	for _, s := range design.Systems {
+		if e.kb.SystemByName(s) == nil {
+			return nil, fmt.Errorf("core: design deploys unknown system %q", s)
+		}
+		deployed[s] = true
+		sc2.PinnedSystems = append(sc2.PinnedSystems, s)
+	}
+	for i := range e.kb.Systems {
+		if !deployed[e.kb.Systems[i].Name] {
+			sc2.ForbiddenSystems = append(sc2.ForbiddenSystems, e.kb.Systems[i].Name)
+		}
+	}
+	if len(design.Hardware) > 0 {
+		sc2.PinnedHardware = map[kb.HardwareKind]string{}
+		for kind, name := range sc.PinnedHardware {
+			sc2.PinnedHardware[kind] = name
+		}
+		for kind, name := range design.Hardware {
+			if h := e.kb.HardwareByName(name); h == nil || h.Kind != kind {
+				return nil, fmt.Errorf("core: design selects unknown %s %q", kind, name)
+			}
+			sc2.PinnedHardware[kind] = name
+		}
+	}
+	c, err := e.compile(&sc2)
+	if err != nil {
+		return nil, err
+	}
+	return e.decide(c, nil)
+}
+
+// decide solves under all selectors plus extra assumptions, producing a
+// report with either a witness or a minimized explanation.
+func (e *Engine) decide(c *compiled, extra []sat.Lit) (*Report, error) {
+	assumps := append(c.assumptions(), extra...)
+	status := c.solver.SolveAssuming(assumps)
+	rep := &Report{
+		SolverConflicts: c.solver.Stats().Conflicts,
+		SolverDecisions: c.solver.Stats().Decisions,
+	}
+	switch status {
+	case sat.Sat:
+		rep.Verdict = Feasible
+		rep.Design = c.designFromModel()
+		return rep, nil
+	case sat.Unsat:
+		rep.Verdict = Infeasible
+		rep.Explanation = e.minimizeCore(c, extra)
+		return rep, nil
+	default:
+		return nil, fmt.Errorf("core: solver returned %v", status)
+	}
+}
+
+// minimizeCore shrinks the final conflict to a minimal unsatisfiable
+// subset of selectors (deletion-based MUS extraction), then maps selector
+// names to notes.
+func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
+	inCore := map[sat.Lit]bool{}
+	for _, l := range c.solver.FinalConflict() {
+		inCore[l] = true
+	}
+	// Candidate selectors (extras are always kept: they are the query).
+	var candidates []selector
+	for _, s := range c.selectors {
+		if inCore[s.lit] {
+			candidates = append(candidates, s)
+		}
+	}
+	// Deletion loop: try dropping each candidate; keep dropped if still
+	// unsat without it.
+	kept := append([]selector(nil), candidates...)
+	for i := 0; i < len(kept); i++ {
+		trial := make([]sat.Lit, 0, len(kept)-1+len(extra))
+		for j, s := range kept {
+			if j != i {
+				trial = append(trial, s.lit)
+			}
+		}
+		trial = append(trial, extra...)
+		if c.solver.SolveAssuming(trial) == sat.Unsat {
+			// Still unsat without kept[i]: remove it. Additionally
+			// intersect with the new (possibly smaller) core.
+			newCore := map[sat.Lit]bool{}
+			for _, l := range c.solver.FinalConflict() {
+				newCore[l] = true
+			}
+			var next []selector
+			for j, s := range kept {
+				if j != i && newCore[s.lit] {
+					next = append(next, s)
+				}
+			}
+			kept = next
+			i = -1 // restart scan over the smaller set
+		}
+	}
+	ex := &Explanation{}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].name < kept[j].name })
+	for _, s := range kept {
+		ex.Conflicts = append(ex.Conflicts, ConflictItem{Name: s.name, Note: s.note})
+	}
+	return ex
+}
+
+// Explain runs Synthesize and returns only the explanation (nil when the
+// scenario is feasible).
+func (e *Engine) Explain(sc Scenario) (*Explanation, error) {
+	rep, err := e.Synthesize(sc)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Explanation, nil
+}
+
+// Enumerate returns up to max distinct compliant designs, where designs
+// are distinguished by their deployed system set (hardware variations of
+// the same system set collapse into one equivalence class, per §6
+// "identify equivalence classes of system deployments").
+func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
+	c, err := e.compile(&sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Design
+	assumps := c.assumptions()
+	for len(out) < max {
+		if c.solver.SolveAssuming(assumps) != sat.Sat {
+			break
+		}
+		d := c.designFromModel()
+		out = append(out, d)
+		// Block this system set (projection): at least one system var
+		// must differ.
+		block := make([]sat.Lit, 0, len(c.sysLit))
+		for name, l := range c.sysLit {
+			if d.HasSystem(name) {
+				block = append(block, l.Flip())
+			} else {
+				block = append(block, l)
+			}
+		}
+		c.solver.AddClause(block...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i].Systems) < fmt.Sprint(out[j].Systems)
+	})
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"netarch/internal/kb"
+)
+
+// GreedyReasoner is the deliberately weak baseline reproducing the
+// paper's LLM-as-reasoner experiment (§5.2): it follows local rules one
+// decision at a time, never revises earlier choices, and ignores global
+// interactions (free-form rules, resource aggregation across systems,
+// order guards). The paper found such a reasoner "accurately determined
+// straightforward requirements such as the minimum number of cores …
+// but failed to return correct results when faced with nuances"; the
+// comparison experiment (E5.2) reproduces that asymmetry against the SAT
+// engine.
+type GreedyReasoner struct {
+	kb *kb.KB
+}
+
+// NewGreedy returns the greedy baseline over a knowledge base.
+func NewGreedy(k *kb.KB) *GreedyReasoner { return &GreedyReasoner{kb: k} }
+
+// MinCores answers the simple aggregate query "how many cores do these
+// workloads and systems need", which the baseline gets right: it is a
+// single pass of arithmetic with no interactions.
+func (g *GreedyReasoner) MinCores(workloads []string, systems []string) int64 {
+	var total, kflows int64
+	for _, name := range workloads {
+		if w := g.kb.WorkloadByName(name); w != nil {
+			total += w.PeakCores
+			kflows += w.KFlows
+		}
+	}
+	perServer := int64(0)
+	for _, name := range systems {
+		if s := g.kb.SystemByName(name); s != nil {
+			perServer += s.Resources[kb.ResCores]
+			total += s.CoresPerKFlows * kflows
+		}
+	}
+	// Per-server overheads scale with a default 48-server fleet, the
+	// same default the engine uses.
+	total += perServer * 48
+	return total
+}
+
+// Synthesize produces a design greedily. It returns the design and
+// whether the baseline believes it is valid; the believed-valid design
+// may still violate global rules — that discrepancy is the experiment.
+func (g *GreedyReasoner) Synthesize(sc Scenario) (*Design, bool) {
+	ctx := g.pinnedContext(&sc)
+	d := &Design{
+		Hardware: map[kb.HardwareKind]string{},
+		Context:  ctx,
+		Metrics:  map[string]int64{},
+	}
+
+	// Hardware: pinned SKU, or the first catalog entry of each kind that
+	// covers the workloads' peak line rate and capacity — the sizing any
+	// careful human does on a whiteboard. What the baseline does NOT do
+	// is revisit these picks when later system choices add capability or
+	// budget requirements.
+	var peakBW, peakCores, peakMem int64
+	names := sc.Workloads
+	if len(names) == 0 {
+		for i := range g.kb.Workloads {
+			names = append(names, g.kb.Workloads[i].Name)
+		}
+	}
+	for _, n := range names {
+		if w := g.kb.WorkloadByName(n); w != nil {
+			if w.PeakBandwidthGbps > peakBW {
+				peakBW = w.PeakBandwidthGbps
+			}
+			peakCores += w.PeakCores
+			peakMem += w.PeakMemoryGB
+		}
+	}
+	ns := int64(sc.NumServers)
+	if ns <= 0 {
+		ns = 48
+	}
+	fits := func(h *kb.Hardware) bool {
+		switch h.Kind {
+		case kb.KindSwitch, kb.KindNIC:
+			return h.Q(kb.ResBandwidthGbps) >= peakBW
+		case kb.KindServer:
+			return h.Q(kb.ResCores)*ns >= peakCores && h.Q(kb.ResMemoryGB)*ns >= peakMem
+		}
+		return true
+	}
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		if name, ok := sc.PinnedHardware[kind]; ok {
+			d.Hardware[kind] = name
+			continue
+		}
+		hws := g.kb.HardwareByKind(kind)
+		for _, h := range hws {
+			if fits(h) {
+				d.Hardware[kind] = h.Name
+				break
+			}
+		}
+		if d.Hardware[kind] == "" && len(hws) > 0 {
+			d.Hardware[kind] = hws[0].Name
+		}
+	}
+
+	forbidden := map[string]bool{}
+	for _, s := range sc.ForbiddenSystems {
+		forbidden[s] = true
+	}
+	roleTaken := map[kb.Role]bool{}
+	deployed := map[string]bool{}
+	deploy := func(s *kb.System) {
+		deployed[s.Name] = true
+		d.Systems = append(d.Systems, s.Name)
+		if exclusiveRoles[s.Role] {
+			roleTaken[s.Role] = true
+		}
+		// Upgrade hardware locally if the system needs capabilities the
+		// current SKU lacks — without reconsidering earlier systems'
+		// needs (the no-backtracking flaw).
+		for kind, caps := range s.RequiresCaps {
+			cur := g.kb.HardwareByName(d.Hardware[kind])
+			ok := cur != nil
+			for _, cap := range caps {
+				if cur == nil || !cur.HasCap(cap) {
+					ok = false
+				}
+			}
+			if ok {
+				continue
+			}
+			if _, pinned := sc.PinnedHardware[kind]; pinned {
+				continue // cannot change; baseline ploughs on regardless
+			}
+			for _, h := range g.kb.HardwareByKind(kind) {
+				if !fits(h) {
+					continue
+				}
+				all := true
+				for _, cap := range caps {
+					if !h.HasCap(cap) {
+						all = false
+						break
+					}
+				}
+				if all {
+					d.Hardware[kind] = h.Name
+					break
+				}
+			}
+		}
+	}
+
+	for _, name := range sc.PinnedSystems {
+		if s := g.kb.SystemByName(name); s != nil && !deployed[name] {
+			deploy(s)
+		}
+	}
+
+	needs := g.neededProps(&sc)
+	for _, p := range needs {
+		if g.propCovered(p, deployed, ctx) {
+			continue
+		}
+		// Among locally-fitting candidates, prefer the one covering the
+		// most outstanding needs (a human's "one system for both jobs"
+		// instinct) — still strictly local: no backtracking, no global
+		// rules, no aggregate budgets.
+		if s := g.bestFit(p, needs, ctx, deployed, forbidden, roleTaken); s != nil {
+			deploy(s)
+		} else {
+			return d, false // baseline admits defeat on this need
+		}
+	}
+
+	// A network stack afterwards if none was needed explicitly (the
+	// baseline knows the common-sense rule).
+	if !roleTaken[kb.RoleNetworkStack] {
+		if s := g.firstFit(kb.RoleNetworkStack, "", ctx, deployed, forbidden, roleTaken); s != nil {
+			deploy(s)
+		}
+	}
+	return d, true
+}
+
+// pinnedContext mirrors the engine's context derivation.
+func (g *GreedyReasoner) pinnedContext(sc *Scenario) map[string]bool {
+	ctx := map[string]bool{}
+	names := sc.Workloads
+	if len(names) == 0 {
+		for i := range g.kb.Workloads {
+			names = append(names, g.kb.Workloads[i].Name)
+		}
+	}
+	var maxBW int64
+	for _, n := range names {
+		if w := g.kb.WorkloadByName(n); w != nil {
+			for _, p := range w.Properties {
+				ctx[p] = true
+			}
+			if w.PeakBandwidthGbps > maxBW {
+				maxBW = w.PeakBandwidthGbps
+			}
+		}
+	}
+	if _, ok := sc.Context["load_ge_40gbps"]; !ok {
+		ctx["load_ge_40gbps"] = maxBW >= 40
+	}
+	for k, v := range sc.Context {
+		ctx[k] = v
+	}
+	return ctx
+}
+
+// neededProps collects needed properties in deterministic order.
+func (g *GreedyReasoner) neededProps(sc *Scenario) []kb.Property {
+	var out []kb.Property
+	seen := map[kb.Property]bool{}
+	names := sc.Workloads
+	if len(names) == 0 {
+		for i := range g.kb.Workloads {
+			names = append(names, g.kb.Workloads[i].Name)
+		}
+	}
+	for _, n := range names {
+		if w := g.kb.WorkloadByName(n); w != nil {
+			for _, p := range w.Needs {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	for _, p := range sc.Require {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// propCovered reports whether a deployed, useful system already solves p.
+func (g *GreedyReasoner) propCovered(p kb.Property, deployed map[string]bool, ctx map[string]bool) bool {
+	for i := range g.kb.Systems {
+		s := &g.kb.Systems[i]
+		if !deployed[s.Name] || !s.SolvesProp(p) {
+			continue
+		}
+		if g.usefulNow(s, ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+// usefulNow checks UsefulOnlyWhen against known context (unknown atoms
+// are optimistically assumed favourable — an LLM-ish mistake).
+func (g *GreedyReasoner) usefulNow(s *kb.System, ctx map[string]bool) bool {
+	for _, cond := range s.UsefulOnlyWhen {
+		if v, known := ctx[cond.Atom]; known && v != cond.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// bestFit returns the locally-fitting system solving prop that covers the
+// most still-outstanding needs (ties broken by catalog order).
+func (g *GreedyReasoner) bestFit(prop kb.Property, needs []kb.Property, ctx map[string]bool,
+	deployed, forbidden map[string]bool, roleTaken map[kb.Role]bool) *kb.System {
+	var best *kb.System
+	bestScore := -1
+	for i := range g.kb.Systems {
+		s := &g.kb.Systems[i]
+		if !g.localFit(s, "", prop, ctx, deployed, forbidden, roleTaken) {
+			continue
+		}
+		score := 0
+		for _, need := range needs {
+			if s.SolvesProp(need) && !g.propCovered(need, deployed, ctx) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// localFit reports whether s matches role (if nonempty) / prop (if
+// nonempty) and fits locally. Local means: context conditions against
+// known atoms only, conflicts against current deployments only — global
+// rules and aggregate budgets are ignored.
+func (g *GreedyReasoner) localFit(s *kb.System, role kb.Role, prop kb.Property, ctx map[string]bool,
+	deployed, forbidden map[string]bool, roleTaken map[kb.Role]bool) bool {
+	if role != "" && s.Role != role {
+		return false
+	}
+	if prop != "" && (!s.SolvesProp(prop) || !g.usefulNow(s, ctx)) {
+		return false
+	}
+	if forbidden[s.Name] || deployed[s.Name] {
+		return false
+	}
+	if exclusiveRoles[s.Role] && roleTaken[s.Role] {
+		return false
+	}
+	if !g.contextOK(s, ctx) {
+		return false
+	}
+	for _, cName := range s.ConflictsWith {
+		if deployed[cName] {
+			return false
+		}
+	}
+	for dName := range deployed {
+		dSys := g.kb.SystemByName(dName)
+		for _, cName := range dSys.ConflictsWith {
+			if cName == s.Name {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// firstFit returns the first catalog system that locally fits.
+func (g *GreedyReasoner) firstFit(role kb.Role, prop kb.Property, ctx map[string]bool,
+	deployed, forbidden map[string]bool, roleTaken map[kb.Role]bool) *kb.System {
+	for i := range g.kb.Systems {
+		s := &g.kb.Systems[i]
+		if g.localFit(s, role, prop, ctx, deployed, forbidden, roleTaken) {
+			return s
+		}
+	}
+	return nil
+}
+
+// contextOK checks RequiresContext against known atoms only.
+func (g *GreedyReasoner) contextOK(s *kb.System, ctx map[string]bool) bool {
+	for _, cond := range s.RequiresContext {
+		if v, known := ctx[cond.Atom]; known && v != cond.Value {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netarch/internal/kb"
+)
+
+// memoryKB builds a KB with two server SKUs where only CXL pooling can
+// make the smaller one viable for a memory-heavy workload.
+func memoryKB(memGB int64) *kb.KB {
+	k := miniKB()
+	k.Hardware = append(k.Hardware,
+		kb.Hardware{Name: "srv-cxl", Kind: kb.KindServer,
+			Caps:    []kb.Capability{kb.CapCXL},
+			Quant:   map[kb.Resource]int64{kb.ResCores: 64, kb.ResMemoryGB: 512},
+			CostUSD: 15000},
+	)
+	// Give existing servers memory figures.
+	k.HardwareByName("srv-small").Quant[kb.ResMemoryGB] = 64
+	k.HardwareByName("srv-big").Quant[kb.ResMemoryGB] = 256
+	k.Workloads = append(k.Workloads, kb.Workload{
+		Name: "memhog", PeakMemoryGB: memGB,
+		Needs: []kb.Property{"congestion_control"},
+	})
+	return k
+}
+
+func TestMemoryBudgetSelectsBiggerServer(t *testing.T) {
+	// 20,000 GB over 48 servers: srv-small (64GB→3072 total) is out,
+	// srv-big (256GB→12288) is out, srv-cxl (512GB→24576) fits.
+	e := mustEngine(t, memoryKB(20000))
+	rep, err := e.Synthesize(Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Feasible {
+		t.Fatalf("infeasible: %v", rep.Explanation)
+	}
+	if rep.Design.Hardware[kb.KindServer] != "srv-cxl" {
+		t.Errorf("memory demand must force srv-cxl, got %s",
+			rep.Design.Hardware[kb.KindServer])
+	}
+}
+
+func TestMemoryBudgetInfeasibleExplained(t *testing.T) {
+	// 30,000 GB exceeds even srv-cxl's 24,576 without pooling.
+	e := mustEngine(t, memoryKB(30000))
+	rep, err := e.Synthesize(Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Infeasible {
+		t.Fatal("want infeasible without pooling")
+	}
+	cited := false
+	for _, c := range rep.Explanation.Conflicts {
+		if strings.Contains(c.Name, "resources:memory") {
+			cited = true
+		}
+	}
+	if !cited {
+		t.Errorf("explanation must cite memory: %v", rep.Explanation)
+	}
+}
+
+func TestMemoryCXLPoolingUnlocks(t *testing.T) {
+	// With pooling, srv-cxl stretches to 24576*1.5 = 36864 ≥ 30000.
+	e := mustEngine(t, memoryKB(30000))
+	rep, err := e.Synthesize(Scenario{
+		Context: map[string]bool{"cxl_pooling": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Feasible {
+		t.Fatalf("pooling must unlock feasibility: %v", rep.Explanation)
+	}
+	if rep.Design.Hardware[kb.KindServer] != "srv-cxl" {
+		t.Errorf("pooling only helps CXL-capable servers, got %s",
+			rep.Design.Hardware[kb.KindServer])
+	}
+	// Pooling must NOT stretch non-CXL servers: pin srv-big and confirm
+	// still infeasible.
+	rep, err = e.Synthesize(Scenario{
+		Context:        map[string]bool{"cxl_pooling": true},
+		PinnedHardware: map[kb.HardwareKind]string{kb.KindServer: "srv-big"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Infeasible {
+		t.Error("pooling must not stretch non-CXL servers")
+	}
+}

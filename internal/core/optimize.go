@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"netarch/internal/cardinality"
+	"netarch/internal/intlin"
+	"netarch/internal/sat"
+)
+
+// OptimizeResult extends a feasible report with the achieved objective
+// values, in priority order.
+type OptimizeResult struct {
+	Report
+	// ObjectiveValues[i] is the minimum achieved for objectives[i].
+	ObjectiveValues []int64
+}
+
+// Optimize finds a design minimizing the objectives lexicographically
+// (the paper's "Optimize(latency > Hardware cost > monitoring)", Listing
+// 3). Earlier objectives dominate: each level is minimized subject to all
+// previous levels being at their minima.
+func (e *Engine) Optimize(sc Scenario, objectives []Objective) (*OptimizeResult, error) {
+	c, err := e.compile(&sc)
+	if err != nil {
+		return nil, err
+	}
+	assumps := c.assumptions()
+	status := c.solver.SolveAssuming(assumps)
+	if status == sat.Unsat {
+		return &OptimizeResult{Report: Report{
+			Verdict:     Infeasible,
+			Explanation: e.minimizeCore(c, nil),
+		}}, nil
+	}
+	if status != sat.Sat {
+		return nil, fmt.Errorf("core: solver returned %v", status)
+	}
+
+	res := &OptimizeResult{Report: Report{Verdict: Feasible}}
+	for _, obj := range objectives {
+		val, err := c.minimizeObjective(obj, assumps)
+		if err != nil {
+			return nil, err
+		}
+		res.ObjectiveValues = append(res.ObjectiveValues, val)
+	}
+	// Re-solve under the accumulated bounds for the final witness.
+	if c.solver.SolveAssuming(assumps) != sat.Sat {
+		return nil, fmt.Errorf("core: optimum vanished after bounding (internal error)")
+	}
+	res.Design = c.designFromModel()
+	res.SolverConflicts = c.solver.Stats().Conflicts
+	res.SolverDecisions = c.solver.Stats().Decisions
+	return res, nil
+}
+
+// minimizeObjective minimizes one objective level and permanently asserts
+// its optimum, returning the achieved value.
+func (c *compiled) minimizeObjective(obj Objective, assumps []sat.Lit) (int64, error) {
+	switch obj.Kind {
+	case MinimizeCost:
+		return c.minimizeInt(c.costTotal, assumps)
+	case MinimizeCores:
+		return c.minimizeInt(c.coresUsed, assumps)
+	case MinimizeSystems:
+		lits := make([]sat.Lit, 0, len(c.sysLit))
+		for i := range c.kb.Systems {
+			lits = append(lits, c.sysLit[c.kb.Systems[i].Name])
+		}
+		return c.minimizeCount(lits, assumps)
+	case PreferOrder:
+		lits, err := c.orderPenaltyLits(obj.Dimension)
+		if err != nil {
+			return 0, err
+		}
+		if len(lits) == 0 {
+			return 0, nil
+		}
+		return c.minimizeCount(lits, assumps)
+	default:
+		return 0, fmt.Errorf("core: unknown objective kind %v", obj.Kind)
+	}
+}
+
+// minimizeInt binary-searches the minimum of an arithmetic term under the
+// assumptions, then asserts term ≤ min permanently.
+func (c *compiled) minimizeInt(term intlin.Int, assumps []sat.Lit) (int64, error) {
+	if c.solver.SolveAssuming(assumps) != sat.Sat {
+		return 0, fmt.Errorf("core: objective base became infeasible")
+	}
+	best := intlin.ValueOf(term, c.solver.Model())
+	lo := int64(0)
+	for lo < best {
+		mid := lo + (best-lo)/2
+		bound := c.arith.LeqConst(term, mid)
+		switch c.solver.SolveAssuming(append(append([]sat.Lit(nil), assumps...), bound)) {
+		case sat.Sat:
+			best = intlin.ValueOf(term, c.solver.Model())
+			if best > mid {
+				best = mid // model read-back can only improve the bound
+			}
+		case sat.Unsat:
+			lo = mid + 1
+		default:
+			return 0, fmt.Errorf("core: solver indeterminate during optimization")
+		}
+	}
+	c.arith.Assert(c.arith.LeqConst(term, best))
+	return best, nil
+}
+
+// minimizeCount minimizes the number of true literals via a totalizer and
+// binary search, then asserts the optimum permanently.
+func (c *compiled) minimizeCount(lits []sat.Lit, assumps []sat.Lit) (int64, error) {
+	if c.solver.SolveAssuming(assumps) != sat.Sat {
+		return 0, fmt.Errorf("core: objective base became infeasible")
+	}
+	tot := cardinality.NewTotalizer(c.solver, lits)
+	best := int64(tot.CountTrue(c.solver.Model()))
+	lo := int64(0)
+	for lo < best {
+		mid := lo + (best-lo)/2
+		trial := append([]sat.Lit(nil), assumps...)
+		if bl := tot.AtMostLit(int(mid)); bl != 0 {
+			trial = append(trial, bl)
+		}
+		switch c.solver.SolveAssuming(trial) {
+		case sat.Sat:
+			if v := int64(tot.CountTrue(c.solver.Model())); v < mid {
+				best = v
+			} else {
+				best = mid
+			}
+		case sat.Unsat:
+			lo = mid + 1
+		default:
+			return 0, fmt.Errorf("core: solver indeterminate during optimization")
+		}
+	}
+	tot.ConstrainAtMost(int(best))
+	return best, nil
+}
+
+// orderPenaltyLits builds one penalty literal per "dominated deployment":
+// deploying system w while leaving undeployed some same-role system b that
+// is strictly better than w in the resolved order. Minimizing the count
+// steers the design toward the order's maximal elements.
+func (c *compiled) orderPenaltyLits(dimension string) ([]sat.Lit, error) {
+	resolved, err := c.resolveOrder(dimension)
+	if err != nil {
+		return nil, err
+	}
+	if resolved == nil {
+		return nil, fmt.Errorf("core: unknown order dimension %q", dimension)
+	}
+	var lits []sat.Lit
+	for i := range c.kb.Systems {
+		worse := &c.kb.Systems[i]
+		for j := range c.kb.Systems {
+			better := &c.kb.Systems[j]
+			if i == j || better.Role != worse.Role {
+				continue
+			}
+			if !resolved.Better(better.Name, worse.Name) {
+				continue
+			}
+			// penalty ≥ (worse ∧ ¬better)
+			p := sat.Lit(c.solver.NewVar())
+			c.solver.AddClause(c.sysLit[worse.Name].Flip(), c.sysLit[better.Name], p)
+			lits = append(lits, p)
+		}
+	}
+	return lits, nil
+}

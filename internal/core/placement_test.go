@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netarch/internal/kb"
+)
+
+// placementKB extends miniKB with a rack-pinned workload.
+func placementKB(peakCores int64, racks []string) *kb.KB {
+	k := miniKB()
+	k.Workloads = append(k.Workloads, kb.Workload{
+		Name:       "pinned",
+		DeployedAt: racks,
+		PeakCores:  peakCores,
+		Needs:      []kb.Property{"congestion_control"},
+	})
+	return k
+}
+
+func TestRackPlacementFits(t *testing.T) {
+	// 600 cores over 2 racks = 300/rack; 8 servers × 64 cores = 512/rack
+	// with srv-big. srv-small (16 cores → 128/rack) must be excluded.
+	k := placementKB(600, []string{"rack0", "rack1"})
+	e := mustEngine(t, k)
+	sc := Scenario{
+		RackServers: map[string]int{"rack0": 8, "rack1": 8},
+	}
+	rep, err := e.Synthesize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Feasible {
+		t.Fatalf("infeasible: %v", rep.Explanation)
+	}
+	if rep.Design.Hardware[kb.KindServer] != "srv-big" {
+		t.Errorf("rack demand must force big servers, got %s",
+			rep.Design.Hardware[kb.KindServer])
+	}
+}
+
+func TestRackPlacementOverflow(t *testing.T) {
+	// 300 cores/rack demand vs 4 servers × 64 = 256/rack: infeasible.
+	k := placementKB(600, []string{"rack0", "rack1"})
+	e := mustEngine(t, k)
+	sc := Scenario{
+		RackServers: map[string]int{"rack0": 4, "rack1": 4},
+	}
+	rep, err := e.Synthesize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Infeasible {
+		t.Fatal("overfull racks must be infeasible")
+	}
+	cited := false
+	for _, c := range rep.Explanation.Conflicts {
+		if strings.HasPrefix(c.Name, "resources:rack:") {
+			cited = true
+		}
+	}
+	if !cited {
+		t.Errorf("explanation must cite the rack budget: %v", rep.Explanation)
+	}
+}
+
+func TestRackPlacementUnknownRack(t *testing.T) {
+	k := placementKB(10, []string{"rack-missing"})
+	e := mustEngine(t, k)
+	rep, err := e.Synthesize(Scenario{
+		RackServers: map[string]int{"rack0": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Infeasible {
+		t.Fatal("placement on an unknown rack must be infeasible")
+	}
+	cited := false
+	for _, c := range rep.Explanation.Conflicts {
+		if c.Name == "resources:rack:rack-missing" {
+			cited = true
+		}
+	}
+	if !cited {
+		t.Errorf("explanation must name the missing rack: %v", rep.Explanation)
+	}
+}
+
+func TestRackPlacementIgnoredWithoutMap(t *testing.T) {
+	// Without RackServers the DeployedAt list is advisory only.
+	k := placementKB(10000, []string{"rack0"})
+	k.Workloads[0].PeakCores = 0 // avoid tripping the fleet core budget
+	e := mustEngine(t, k)
+	sc := Scenario{Workloads: []string{"pinned"}, NumServers: 200}
+	rep, err := e.Synthesize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Feasible {
+		t.Fatalf("without RackServers placement must not constrain: %v", rep.Explanation)
+	}
+}
+
+func TestRacksOfHelper(t *testing.T) {
+	m := RacksOf([]string{"a", "b"}, 4)
+	if len(m) != 2 || m["a"] != 4 || m["b"] != 4 {
+		t.Errorf("RacksOf wrong: %v", m)
+	}
+}

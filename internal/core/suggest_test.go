@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netarch/internal/kb"
+)
+
+func TestSuggestFeasibleReturnsNil(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	sugs, err := e.Suggest(Scenario{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sugs != nil {
+		t.Errorf("feasible scenario must yield no suggestions, got %v", sugs)
+	}
+}
+
+func TestSuggestNamesRelaxableRequirement(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	// pfc+flooding conflict: the fix is to drop one of the two pins (the
+	// rule itself is a fact, never suggested).
+	sc := Scenario{
+		Context: map[string]bool{"pfc_enabled": true, "flooding_enabled": true},
+	}
+	sugs, err := e.Suggest(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("expected suggestions")
+	}
+	for _, s := range sugs {
+		if len(s.Drop) == 0 {
+			t.Fatal("empty correction set")
+		}
+		for _, c := range s.Drop {
+			if !relaxable(c.Name) {
+				t.Errorf("suggested relaxing a non-relaxable fact: %s", c.Name)
+			}
+			if strings.HasPrefix(c.Name, "rule:") {
+				t.Errorf("rules must never be suggested for relaxation: %s", c.Name)
+			}
+		}
+		if s.Witness == nil {
+			t.Error("suggestion must carry a witness design")
+		}
+	}
+	// The smallest correction set should be a single context pin.
+	if len(sugs[0].Drop) != 1 {
+		t.Errorf("smallest correction set should have 1 item: %v", sugs[0].Drop)
+	}
+	name := sugs[0].Drop[0].Name
+	if name != "context:pfc_enabled" && name != "context:flooding_enabled" {
+		t.Errorf("unexpected correction: %s", name)
+	}
+}
+
+func TestSuggestCorrectionActuallyWorks(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	// Impossible: require low_latency_stack while under deadline.
+	sc := Scenario{
+		Require: []kb.Property{"low_latency_stack"},
+		Context: map[string]bool{"deadline_tight": true},
+	}
+	sugs, err := e.Suggest(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("expected suggestions")
+	}
+	// Applying the first suggestion must produce a feasible scenario.
+	drop := map[string]bool{}
+	for _, c := range sugs[0].Drop {
+		drop[c.Name] = true
+	}
+	relaxed := Scenario{Context: map[string]bool{}}
+	if !drop["require:low_latency_stack"] {
+		relaxed.Require = []kb.Property{"low_latency_stack"}
+	}
+	if !drop["context:deadline_tight"] {
+		relaxed.Context["deadline_tight"] = true
+	}
+	rep, err := e.Synthesize(relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Feasible {
+		t.Errorf("applying suggestion %v did not restore feasibility", sugs[0].Drop)
+	}
+}
+
+func TestSuggestString(t *testing.T) {
+	s := &Suggestion{
+		Drop:    []ConflictItem{{Name: "context:x", Note: "why"}},
+		Witness: &Design{Systems: []string{"linux"}},
+	}
+	out := s.String()
+	for _, want := range []string{"relax:", "context:x", "why", "linux"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Suggestion.String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisambiguateUniqueSolution(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	// Pin everything down so only one class remains.
+	sc := Scenario{
+		Require:          []kb.Property{"congestion_control"},
+		PinnedSystems:    []string{"linux", "cubic"},
+		ForbiddenSystems: []string{"shenango", "dctcp", "annulus", "sonata", "marple", "roce"},
+	}
+	d, err := e.Disambiguate(sc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 1 || len(d.Forks) != 0 {
+		t.Errorf("expected unique class, got %+v", d)
+	}
+}
+
+func TestDisambiguateReportsForks(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	d, err := e.Disambiguate(sc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes < 2 {
+		t.Fatalf("expected multiple classes, got %d", d.Classes)
+	}
+	// Congestion control must be a fork (cubic vs dctcp vs annulus).
+	var ccFork *Fork
+	for i := range d.Forks {
+		if d.Forks[i].Role == kb.RoleCongestionControl {
+			ccFork = &d.Forks[i]
+		}
+	}
+	if ccFork == nil {
+		t.Fatalf("no congestion-control fork: %+v", d)
+	}
+	if len(ccFork.Alternatives) < 2 {
+		t.Errorf("fork should list alternatives: %v", ccFork.Alternatives)
+	}
+	// miniKB has no order over CC systems, so the pairs are unranked —
+	// exactly the "measurement worth making" signal.
+	if len(ccFork.Unranked) == 0 {
+		t.Error("CC alternatives should be unranked in miniKB")
+	}
+	out := d.String()
+	if !strings.Contains(out, "congestion_control") {
+		t.Errorf("report missing fork role:\n%s", out)
+	}
+}
+
+func TestDisambiguateRankableFork(t *testing.T) {
+	// With an order over the fork's systems, the dimension is offered.
+	k := miniKB()
+	k.Orders = append(k.Orders, kb.OrderSpec{
+		Dimension: "cc_quality",
+		Edges:     []kb.OrderEdge{{Better: "dctcp", Worse: "cubic", Note: "ECN beats loss"}},
+	})
+	e := mustEngine(t, k)
+	d, err := e.Disambiguate(Scenario{Require: []kb.Property{"congestion_control"}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.Forks {
+		if f.Role == kb.RoleCongestionControl {
+			found := false
+			for _, dim := range f.Dimensions {
+				if dim == "cc_quality" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("cc_quality should rank the CC fork: %+v", f)
+			}
+		}
+	}
+}

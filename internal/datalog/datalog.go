@@ -1,0 +1,370 @@
+// Package datalog implements a stratified Datalog evaluator with
+// semi-naive iteration — the "rule-based systems" alternative the paper
+// weighs against SAT solvers and theorem provers when choosing a logic
+// substrate (§3.4, citing Datalog and SWI-Prolog).
+//
+// The engine supports Horn rules with variables and stratified negation.
+// It can *check* a fully-specified design (all atoms known) but cannot
+// *search* for one — which is precisely the trade-off the paper lands on:
+// "the query can be expressed as an existentially quantified formula …
+// a SAT/SMT solver can answer", while forward-chaining rule systems only
+// derive consequences of given facts. The engine's bridge in package core
+// demonstrates both halves of that comparison.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable (capitalized by convention, checked by IsVar) or a
+// constant.
+type Term struct {
+	// Name is the variable name or constant value.
+	Name string
+	// Var marks the term as a variable.
+	Var bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Name: name, Var: true} }
+
+// C returns a constant term.
+func C(value string) Term { return Term{Name: value} }
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.Name
+		if t.Var {
+			parts[i] = strings.ToUpper(t.Name[:1]) + t.Name[1:]
+		}
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+// Literal is an atom or its negation.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// Pos returns a positive body literal.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg returns a negated body literal.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// Rule is Head :- Body. An empty body asserts the head as a fact schema
+// (its arguments must be constants).
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// Program is a set of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Add appends a rule.
+func (p *Program) Add(head Atom, body ...Literal) {
+	p.Rules = append(p.Rules, Rule{Head: head, Body: body})
+}
+
+// tuple is one ground fact's argument list, joined for set membership.
+type tupleSet struct {
+	arity  int
+	tuples map[string][]string
+}
+
+func newTupleSet(arity int) *tupleSet {
+	return &tupleSet{arity: arity, tuples: map[string][]string{}}
+}
+
+func key(args []string) string { return strings.Join(args, "\x00") }
+
+func (ts *tupleSet) add(args []string) bool {
+	k := key(args)
+	if _, ok := ts.tuples[k]; ok {
+		return false
+	}
+	cp := append([]string(nil), args...)
+	ts.tuples[k] = cp
+	return true
+}
+
+func (ts *tupleSet) has(args []string) bool {
+	_, ok := ts.tuples[key(args)]
+	return ok
+}
+
+// DB is a fact database: predicate name → ground tuples.
+type DB struct {
+	rels map[string]*tupleSet
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*tupleSet{}} }
+
+// AddFact inserts a ground fact.
+func (db *DB) AddFact(pred string, args ...string) error {
+	ts, ok := db.rels[pred]
+	if !ok {
+		ts = newTupleSet(len(args))
+		db.rels[pred] = ts
+	}
+	if ts.arity != len(args) {
+		return fmt.Errorf("datalog: %s arity mismatch: %d vs %d", pred, ts.arity, len(args))
+	}
+	ts.add(args)
+	return nil
+}
+
+// Has reports whether the ground fact is present.
+func (db *DB) Has(pred string, args ...string) bool {
+	ts, ok := db.rels[pred]
+	return ok && ts.has(args)
+}
+
+// All returns every tuple of a predicate, sorted lexicographically.
+func (db *DB) All(pred string) [][]string {
+	ts, ok := db.rels[pred]
+	if !ok {
+		return nil
+	}
+	out := make([][]string, 0, len(ts.tuples))
+	for _, t := range ts.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i]) < key(out[j])
+	})
+	return out
+}
+
+// Count returns the number of tuples of a predicate.
+func (db *DB) Count(pred string) int {
+	if ts, ok := db.rels[pred]; ok {
+		return len(ts.tuples)
+	}
+	return 0
+}
+
+// Eval evaluates the program over the database bottom-up (semi-naive
+// within each stratum) and returns a new database containing the EDB plus
+// every derived fact. It fails if the program cannot be stratified
+// (negation through recursion).
+func (p *Program) Eval(edb *DB) (*DB, error) {
+	strata, err := p.stratify()
+	if err != nil {
+		return nil, err
+	}
+	out := NewDB()
+	for pred, ts := range edb.rels {
+		cp := newTupleSet(ts.arity)
+		for _, t := range ts.tuples {
+			cp.add(t)
+		}
+		out.rels[pred] = cp
+	}
+	for _, stratum := range strata {
+		if err := evalStratum(stratum, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// stratify orders the rules into strata such that negation only refers to
+// lower strata.
+func (p *Program) stratify() ([][]Rule, error) {
+	// Predicate stratum numbers via fixpoint over dependency constraints:
+	// head ≥ positive body; head ≥ negative body + 1.
+	stratum := map[string]int{}
+	for _, r := range p.Rules {
+		if _, ok := stratum[r.Head.Pred]; !ok {
+			stratum[r.Head.Pred] = 0
+		}
+		for _, l := range r.Body {
+			if _, ok := stratum[l.Atom.Pred]; !ok {
+				stratum[l.Atom.Pred] = 0
+			}
+		}
+	}
+	n := len(stratum)
+	for iter := 0; ; iter++ {
+		if iter > n*n+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+		}
+		changed := false
+		for _, r := range p.Rules {
+			for _, l := range r.Body {
+				need := stratum[l.Atom.Pred]
+				if l.Negated {
+					need++
+				}
+				if stratum[r.Head.Pred] < need {
+					stratum[r.Head.Pred] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]Rule, maxS+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// evalStratum runs naive iteration to fixpoint over one stratum.
+// (Semi-naive delta tracking is applied per round: only rules whose body
+// could match a newly derived fact re-fire; with the small fact bases of
+// architecture checking, plain fixpoint rounds with early exit suffice
+// and stay obviously correct.)
+func evalStratum(rules []Rule, db *DB) error {
+	for {
+		changed := false
+		for _, r := range rules {
+			derived, err := fire(r, db)
+			if err != nil {
+				return err
+			}
+			for _, args := range derived {
+				ts, ok := db.rels[r.Head.Pred]
+				if !ok {
+					ts = newTupleSet(len(args))
+					db.rels[r.Head.Pred] = ts
+				}
+				if ts.arity != len(args) {
+					return fmt.Errorf("datalog: %s arity mismatch", r.Head.Pred)
+				}
+				if ts.add(args) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// fire computes all ground head tuples derivable from one rule.
+func fire(r Rule, db *DB) ([][]string, error) {
+	bindings := []map[string]string{{}}
+	for _, l := range r.Body {
+		var next []map[string]string
+		for _, b := range bindings {
+			matches, err := match(l, b, db)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matches...)
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	var out [][]string
+	for _, b := range bindings {
+		args := make([]string, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			if t.Var {
+				v, ok := b[t.Name]
+				if !ok {
+					return nil, fmt.Errorf("datalog: unbound variable %s in head of %s", t.Name, r.Head.Pred)
+				}
+				args[i] = v
+			} else {
+				args[i] = t.Name
+			}
+		}
+		out = append(out, args)
+	}
+	return out, nil
+}
+
+// match extends a binding against one body literal.
+func match(l Literal, b map[string]string, db *DB) ([]map[string]string, error) {
+	if l.Negated {
+		// Negation-as-failure: every variable must already be bound.
+		args := make([]string, len(l.Atom.Args))
+		for i, t := range l.Atom.Args {
+			if t.Var {
+				v, ok := b[t.Name]
+				if !ok {
+					return nil, fmt.Errorf("datalog: unsafe negation: %s unbound in ¬%s", t.Name, l.Atom.Pred)
+				}
+				args[i] = v
+			} else {
+				args[i] = t.Name
+			}
+		}
+		if db.Has(l.Atom.Pred, args...) {
+			return nil, nil
+		}
+		return []map[string]string{b}, nil
+	}
+	ts, ok := db.rels[l.Atom.Pred]
+	if !ok {
+		return nil, nil
+	}
+	if ts.arity != len(l.Atom.Args) {
+		return nil, fmt.Errorf("datalog: %s arity mismatch in body", l.Atom.Pred)
+	}
+	var out []map[string]string
+tuples:
+	for _, tup := range ts.tuples {
+		nb := b
+		copied := false
+		for i, t := range l.Atom.Args {
+			if !t.Var {
+				if tup[i] != t.Name {
+					continue tuples
+				}
+				continue
+			}
+			if v, bound := nb[t.Name]; bound {
+				if v != tup[i] {
+					continue tuples
+				}
+				continue
+			}
+			if !copied {
+				cp := make(map[string]string, len(nb)+1)
+				for k, v := range nb {
+					cp[k] = v
+				}
+				nb = cp
+				copied = true
+			}
+			nb[t.Name] = tup[i]
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustAdd(t *testing.T, db *DB, pred string, args ...string) {
+	t.Helper()
+	if err := db.AddFact(pred, args...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "edge", "a", "b")
+	mustAdd(t, db, "edge", "b", "c")
+	mustAdd(t, db, "edge", "c", "d")
+
+	var p Program
+	p.Add(NewAtom("path", V("x"), V("y")), Pos(NewAtom("edge", V("x"), V("y"))))
+	p.Add(NewAtom("path", V("x"), V("z")),
+		Pos(NewAtom("edge", V("x"), V("y"))),
+		Pos(NewAtom("path", V("y"), V("z"))))
+
+	out, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count("path") != 6 {
+		t.Errorf("path count: got %d, want 6 (%v)", out.Count("path"), out.All("path"))
+	}
+	if !out.Has("path", "a", "d") || out.Has("path", "d", "a") {
+		t.Error("closure wrong")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	// unreachable(X) :- node(X), !reach(X)
+	db := NewDB()
+	for _, n := range []string{"a", "b", "c"} {
+		mustAdd(t, db, "node", n)
+	}
+	mustAdd(t, db, "edge", "a", "b")
+	mustAdd(t, db, "start", "a")
+
+	var p Program
+	p.Add(NewAtom("reach", V("x")), Pos(NewAtom("start", V("x"))))
+	p.Add(NewAtom("reach", V("y")),
+		Pos(NewAtom("reach", V("x"))), Pos(NewAtom("edge", V("x"), V("y"))))
+	p.Add(NewAtom("unreachable", V("x")),
+		Pos(NewAtom("node", V("x"))), Neg(NewAtom("reach", V("x"))))
+
+	out, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("unreachable", "c") || out.Has("unreachable", "a") || out.Has("unreachable", "b") {
+		t.Errorf("unreachable wrong: %v", out.All("unreachable"))
+	}
+}
+
+func TestNonStratifiableRejected(t *testing.T) {
+	// p(X) :- q(X), !p(X): negation through recursion.
+	var p Program
+	p.Add(NewAtom("p", V("x")), Pos(NewAtom("q", V("x"))), Neg(NewAtom("p", V("x"))))
+	db := NewDB()
+	mustAdd(t, db, "q", "a")
+	if _, err := p.Eval(db); err == nil || !strings.Contains(err.Error(), "stratifiable") {
+		t.Errorf("want stratification error, got %v", err)
+	}
+}
+
+func TestUnsafeNegationRejected(t *testing.T) {
+	// viol(X) :- !fact(X): X unbound under negation.
+	var p Program
+	p.Add(NewAtom("viol", V("x")), Neg(NewAtom("fact", V("x"))))
+	db := NewDB()
+	mustAdd(t, db, "fact", "a")
+	if _, err := p.Eval(db); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Errorf("want unsafe-negation error, got %v", err)
+	}
+}
+
+func TestUnboundHeadRejected(t *testing.T) {
+	var p Program
+	p.Add(NewAtom("out", V("y")), Pos(NewAtom("in", V("x"))))
+	db := NewDB()
+	mustAdd(t, db, "in", "a")
+	if _, err := p.Eval(db); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("want unbound-head error, got %v", err)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "p", "a")
+	if err := db.AddFact("p", "a", "b"); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestConstantsInBody(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "cap", "nic", "TS")
+	mustAdd(t, db, "cap", "switch", "ECN")
+	var p Program
+	p.Add(NewAtom("nicCap", V("c")), Pos(NewAtom("cap", C("nic"), V("c"))))
+	out, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("nicCap", "TS") || out.Has("nicCap", "ECN") {
+		t.Errorf("constant filter wrong: %v", out.All("nicCap"))
+	}
+}
+
+func TestJoinSharedVariable(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "deployed", "simon")
+	mustAdd(t, db, "deployed", "cubic")
+	mustAdd(t, db, "conflicts", "simon", "cubic")
+	mustAdd(t, db, "conflicts", "simon", "ghost")
+	var p Program
+	p.Add(NewAtom("violation", V("a"), V("b")),
+		Pos(NewAtom("deployed", V("a"))),
+		Pos(NewAtom("conflicts", V("a"), V("b"))),
+		Pos(NewAtom("deployed", V("b"))))
+	out, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count("violation") != 1 || !out.Has("violation", "simon", "cubic") {
+		t.Errorf("join wrong: %v", out.All("violation"))
+	}
+}
+
+func TestEvalDoesNotMutateEDB(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "edge", "a", "b")
+	var p Program
+	p.Add(NewAtom("path", V("x"), V("y")), Pos(NewAtom("edge", V("x"), V("y"))))
+	if _, err := p.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("path") != 0 {
+		t.Error("Eval must not write into the input database")
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := NewAtom("cap", C("nic"), V("c"))
+	if got := a.String(); got != "cap(nic,C)" {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func TestAllSortedAndCount(t *testing.T) {
+	db := NewDB()
+	mustAdd(t, db, "p", "b")
+	mustAdd(t, db, "p", "a")
+	mustAdd(t, db, "p", "a") // duplicate
+	all := db.All("p")
+	if len(all) != 2 || all[0][0] != "a" || all[1][0] != "b" {
+		t.Errorf("All: %v", all)
+	}
+	if db.Count("p") != 2 || db.Count("nope") != 0 {
+		t.Error("Count wrong")
+	}
+	if db.All("nope") != nil {
+		t.Error("All of missing pred must be nil")
+	}
+}

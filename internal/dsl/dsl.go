@@ -1,0 +1,182 @@
+// Package dsl implements a textual encoding language for the knowledge
+// base, in the spirit of the paper's Listings 2–3: system, hardware, and
+// workload blocks, free-form rules in predicate logic, and partial-order
+// blocks with guarded edges. The format is the crowd-sourcing surface the
+// paper envisions (§3.3): experts write their system's block, the parser
+// validates it, and Merge composes contributions.
+//
+// Grammar sketch (line-oriented; '#' starts a comment):
+//
+//	system <name> {
+//	    role: monitoring
+//	    solves: capture_delays, detect_queue_length
+//	    requires nic: NIC_TIMESTAMPS
+//	    requires system: linux
+//	    requires any-of: sonata | marple
+//	    conflicts: cubic
+//	    context: !deadline_tight, app_modifiable
+//	    useful-when: wan_dc_mix
+//	    resource cores: 2
+//	    cores-per-kflows: 2
+//	    app-modification: true
+//	    maturity: research
+//	    note <key>: "text"
+//	}
+//
+//	hardware "Cisco Catalyst 9500-40X" {
+//	    kind: switch
+//	    vendor: Cisco
+//	    caps: ECN, PFC
+//	    quant ports: 40
+//	    cost: 12000
+//	    attr "Port Bandwidth": "10 Gbps"
+//	}
+//
+//	workload inference_app {
+//	    properties: dc_flows, short_flows
+//	    deployed-at: rack0, rack1
+//	    peak-cores: 2800
+//	    peak-memory-gb: 16000
+//	    peak-bandwidth-gbps: 30
+//	    kflows: 50
+//	    needs: congestion_control
+//	}
+//
+//	rule pfc_no_flooding: ctx:pfc_enabled -> !ctx:flooding_enabled  "note"
+//
+//	order monitoring {
+//	    simon > pingmesh  "accuracy"
+//	    snap = linux when ctx:tcp_enabled & !ctx:pony_enabled  "on par"
+//	}
+//
+// Rule and guard expressions use atoms (namespace:name), !, &, |, ->,
+// <->, and parentheses, with the usual precedence (! binds tightest,
+// <-> loosest).
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a syntax or semantic error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dsl: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// line is one logical source line with its number.
+type line struct {
+	num  int
+	text string
+}
+
+// splitLines strips comments and blank lines. A '#' outside quotes starts
+// a comment.
+func splitLines(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		out = append(out, line{num: i + 1, text: text})
+	}
+	return out
+}
+
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// splitKV splits "key: value" at the first ':' that is outside quotes.
+// Atom colons only appear on the value side, so the first colon wins for
+// field lines; callers that need different behaviour (rule lines) handle
+// it themselves.
+func splitKV(s string) (key, value string, ok bool) {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case ':':
+			if !inQuote {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// commaList splits a comma-separated list, trimming items and dropping
+// empties.
+func commaList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// unquote removes surrounding double quotes if present.
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// name parses a block header name: either a bare word or a quoted string.
+func headerName(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, `"`) {
+		if end := strings.Index(s[1:], `"`); end >= 0 {
+			return s[1 : end+1], strings.TrimSpace(s[end+2:])
+		}
+		return s, ""
+	}
+	if i := strings.IndexAny(s, " \t{"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i:])
+	}
+	return s, ""
+}
+
+// trailingQuote extracts an optional trailing quoted note from a line,
+// returning the rest and the note.
+func trailingQuote(s string) (rest, note string) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, `"`) {
+		return s, ""
+	}
+	// find matching opening quote
+	for i := len(s) - 2; i >= 0; i-- {
+		if s[i] == '"' {
+			return strings.TrimSpace(s[:i]), s[i+1 : len(s)-1]
+		}
+	}
+	return s, ""
+}

@@ -1,0 +1,261 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"netarch/internal/kb"
+)
+
+// ParseExpr parses a rule/guard expression over namespaced atoms with
+// operators (tightest to loosest): ! & | -> <->, plus parentheses and the
+// constants true/false. The implication arrow is right-associative.
+func ParseExpr(s string) (kb.Expr, error) {
+	p := &exprParser{toks: tokenizeExpr(s)}
+	e, err := p.parseIff()
+	if err != nil {
+		return kb.Expr{}, err
+	}
+	if !p.eof() {
+		return kb.Expr{}, fmt.Errorf("unexpected trailing %q", p.peek())
+	}
+	return e, nil
+}
+
+// tokenizeExpr splits an expression into tokens.
+func tokenizeExpr(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(' || c == ')' || c == '!' || c == '&' || c == '|':
+			toks = append(toks, string(c))
+			i++
+		case strings.HasPrefix(s[i:], "<->"):
+			toks = append(toks, "<->")
+			i += 3
+		case strings.HasPrefix(s[i:], "->"):
+			toks = append(toks, "->")
+			i += 2
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t()!&|<>-", rune(s[j])) {
+				j++
+			}
+			// Allow '-' inside atoms (system names like "rdma-roce")
+			// unless it begins an arrow.
+			for j < len(s) && s[j] == '-' && !strings.HasPrefix(s[j:], "->") {
+				j++
+				for j < len(s) && !strings.ContainsRune(" \t()!&|<>-", rune(s[j])) {
+					j++
+				}
+			}
+			if j == i {
+				// Unrecognized single character: emit as its own token
+				// so the parser reports it.
+				j = i + 1
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type exprParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *exprParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *exprParser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *exprParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *exprParser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("expected %q, got %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+// parseIff: or ( "<->" or )*  — left-assoc chains are fine for iff.
+func (p *exprParser) parseIff() (kb.Expr, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return kb.Expr{}, err
+	}
+	for p.peek() == "<->" {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		left = kb.Iff(left, right)
+	}
+	return left, nil
+}
+
+// parseImplies: or ( "->" implies )?  — right-associative.
+func (p *exprParser) parseImplies() (kb.Expr, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return kb.Expr{}, err
+	}
+	if p.peek() == "->" {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		return kb.Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseOr() (kb.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return kb.Expr{}, err
+	}
+	args := []kb.Expr{left}
+	for p.peek() == "|" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return kb.Or(args...), nil
+}
+
+func (p *exprParser) parseAnd() (kb.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return kb.Expr{}, err
+	}
+	args := []kb.Expr{left}
+	for p.peek() == "&" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return kb.And(args...), nil
+}
+
+func (p *exprParser) parseUnary() (kb.Expr, error) {
+	switch tok := p.peek(); tok {
+	case "!":
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		return kb.Not(inner), nil
+	case "(":
+		p.next()
+		inner, err := p.parseIff()
+		if err != nil {
+			return kb.Expr{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return kb.Expr{}, err
+		}
+		return inner, nil
+	case "true":
+		p.next()
+		return kb.TrueExpr(), nil
+	case "false":
+		p.next()
+		return kb.FalseExpr(), nil
+	case "", ")", "&", "|", "->", "<->":
+		return kb.Expr{}, fmt.Errorf("expected atom, got %q", tok)
+	default:
+		p.next()
+		return kb.Atom(tok), nil
+	}
+}
+
+// FormatExpr renders an expression in the DSL's syntax (inverse of
+// ParseExpr up to parenthesization).
+func FormatExpr(e kb.Expr) string {
+	return formatExpr(e, 0)
+}
+
+// precedence levels: 4 atom/not, 3 and, 2 or, 1 implies, 0 iff.
+func exprPrec(e kb.Expr) int {
+	switch e.Op {
+	case "and":
+		return 3
+	case "or":
+		return 2
+	case "implies":
+		return 1
+	case "iff":
+		return 0
+	default:
+		return 4
+	}
+}
+
+// formatExpr renders e, parenthesizing when its precedence is below
+// minPrec. And/or chains are associative; implies is right-associative;
+// iff is rendered left-associatively (matching the parser).
+func formatExpr(e kb.Expr, minPrec int) string {
+	prec := exprPrec(e)
+	var s string
+	switch e.Op {
+	case "atom":
+		s = e.Atom
+	case "true":
+		s = "true"
+	case "false":
+		s = "false"
+	case "not":
+		s = "!" + formatExpr(e.Args[0], 4)
+	case "and", "or":
+		op := " & "
+		if e.Op == "or" {
+			op = " | "
+		}
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = formatExpr(a, prec)
+		}
+		s = strings.Join(parts, op)
+	case "implies":
+		s = formatExpr(e.Args[0], prec+1) + " -> " + formatExpr(e.Args[1], prec)
+	case "iff":
+		s = formatExpr(e.Args[0], prec) + " <-> " + formatExpr(e.Args[1], prec+1)
+	default:
+		s = "<bad>"
+	}
+	if prec < minPrec {
+		return "(" + s + ")"
+	}
+	return s
+}

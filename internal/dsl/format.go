@@ -1,0 +1,206 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netarch/internal/kb"
+)
+
+// Format renders a knowledge base in the DSL syntax. Format and
+// Parse round-trip: ParseString(Format(k)) yields an equivalent KB.
+func Format(k *kb.KB) string {
+	var b strings.Builder
+	for i := range k.Systems {
+		formatSystem(&b, &k.Systems[i])
+	}
+	for i := range k.Hardware {
+		formatHardware(&b, &k.Hardware[i])
+	}
+	for i := range k.Workloads {
+		formatWorkload(&b, &k.Workloads[i])
+	}
+	for _, r := range k.Rules {
+		fmt.Fprintf(&b, "rule %s: %s", r.Name, FormatExpr(r.Expr))
+		if r.Note != "" {
+			fmt.Fprintf(&b, "  %q", r.Note)
+		}
+		b.WriteString("\n")
+	}
+	if len(k.Rules) > 0 {
+		b.WriteString("\n")
+	}
+	for i := range k.Orders {
+		formatOrder(&b, &k.Orders[i])
+	}
+	return b.String()
+}
+
+func blockName(name string) string {
+	if strings.ContainsAny(name, " \t{}:") {
+		return fmt.Sprintf("%q", name)
+	}
+	return name
+}
+
+func formatSystem(b *strings.Builder, s *kb.System) {
+	fmt.Fprintf(b, "system %s {\n", blockName(s.Name))
+	fmt.Fprintf(b, "    role: %s\n", s.Role)
+	if len(s.Solves) > 0 {
+		fmt.Fprintf(b, "    solves: %s\n", joinProps(s.Solves))
+	}
+	kinds := make([]string, 0, len(s.RequiresCaps))
+	for kind := range s.RequiresCaps {
+		kinds = append(kinds, string(kind))
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		caps := make([]string, len(s.RequiresCaps[kb.HardwareKind(kind)]))
+		for i, c := range s.RequiresCaps[kb.HardwareKind(kind)] {
+			caps[i] = string(c)
+		}
+		fmt.Fprintf(b, "    requires %s: %s\n", kind, strings.Join(caps, ", "))
+	}
+	if len(s.RequiresSystems) > 0 {
+		fmt.Fprintf(b, "    requires system: %s\n", strings.Join(s.RequiresSystems, ", "))
+	}
+	for _, group := range s.RequiresAnyOf {
+		fmt.Fprintf(b, "    requires any-of: %s\n", strings.Join(group, " | "))
+	}
+	if len(s.ConflictsWith) > 0 {
+		fmt.Fprintf(b, "    conflicts: %s\n", strings.Join(s.ConflictsWith, ", "))
+	}
+	if len(s.RequiresContext) > 0 {
+		fmt.Fprintf(b, "    context: %s\n", joinConditions(s.RequiresContext))
+	}
+	if len(s.UsefulOnlyWhen) > 0 {
+		fmt.Fprintf(b, "    useful-when: %s\n", joinConditions(s.UsefulOnlyWhen))
+	}
+	for _, res := range sortedResources(s.Resources) {
+		fmt.Fprintf(b, "    resource %s: %d\n", res, s.Resources[res])
+	}
+	if s.CoresPerKFlows != 0 {
+		fmt.Fprintf(b, "    cores-per-kflows: %d\n", s.CoresPerKFlows)
+	}
+	if s.AppModification {
+		fmt.Fprintf(b, "    app-modification: true\n")
+	}
+	if s.Maturity != "" {
+		fmt.Fprintf(b, "    maturity: %s\n", s.Maturity)
+	}
+	for _, key := range sortedKeys(s.Notes) {
+		fmt.Fprintf(b, "    note %s: %q\n", key, s.Notes[key])
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatHardware(b *strings.Builder, h *kb.Hardware) {
+	fmt.Fprintf(b, "hardware %s {\n", blockName(h.Name))
+	fmt.Fprintf(b, "    kind: %s\n", h.Kind)
+	if h.Vendor != "" {
+		fmt.Fprintf(b, "    vendor: %s\n", h.Vendor)
+	}
+	if len(h.Caps) > 0 {
+		caps := make([]string, len(h.Caps))
+		for i, c := range h.Caps {
+			caps[i] = string(c)
+		}
+		fmt.Fprintf(b, "    caps: %s\n", strings.Join(caps, ", "))
+	}
+	for _, res := range sortedResources(h.Quant) {
+		fmt.Fprintf(b, "    quant %s: %d\n", res, h.Quant[res])
+	}
+	if h.CostUSD != 0 {
+		fmt.Fprintf(b, "    cost: %d\n", h.CostUSD)
+	}
+	for _, key := range sortedKeys(h.Attrs) {
+		fmt.Fprintf(b, "    attr %q: %q\n", key, h.Attrs[key])
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatWorkload(b *strings.Builder, w *kb.Workload) {
+	fmt.Fprintf(b, "workload %s {\n", blockName(w.Name))
+	if len(w.Properties) > 0 {
+		fmt.Fprintf(b, "    properties: %s\n", strings.Join(w.Properties, ", "))
+	}
+	if len(w.DeployedAt) > 0 {
+		fmt.Fprintf(b, "    deployed-at: %s\n", strings.Join(w.DeployedAt, ", "))
+	}
+	if w.PeakCores != 0 {
+		fmt.Fprintf(b, "    peak-cores: %d\n", w.PeakCores)
+	}
+	if w.PeakMemoryGB != 0 {
+		fmt.Fprintf(b, "    peak-memory-gb: %d\n", w.PeakMemoryGB)
+	}
+	if w.PeakBandwidthGbps != 0 {
+		fmt.Fprintf(b, "    peak-bandwidth-gbps: %d\n", w.PeakBandwidthGbps)
+	}
+	if w.KFlows != 0 {
+		fmt.Fprintf(b, "    kflows: %d\n", w.KFlows)
+	}
+	if len(w.Needs) > 0 {
+		fmt.Fprintf(b, "    needs: %s\n", joinProps(w.Needs))
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatOrder(b *strings.Builder, spec *kb.OrderSpec) {
+	fmt.Fprintf(b, "order %s {\n", blockName(spec.Dimension))
+	writeEdge := func(a, op, c string, guard *kb.Expr, note string) {
+		fmt.Fprintf(b, "    %s %s %s", a, op, c)
+		if guard != nil {
+			fmt.Fprintf(b, " when %s", FormatExpr(*guard))
+		}
+		if note != "" {
+			fmt.Fprintf(b, "  %q", note)
+		}
+		b.WriteString("\n")
+	}
+	for _, e := range spec.Edges {
+		writeEdge(e.Better, ">", e.Worse, e.Guard, e.Note)
+	}
+	for _, e := range spec.Equals {
+		writeEdge(e.A, "=", e.B, e.Guard, e.Note)
+	}
+	b.WriteString("}\n\n")
+}
+
+func joinProps(ps []kb.Property) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = string(p)
+	}
+	return strings.Join(ss, ", ")
+}
+
+func joinConditions(cs []kb.Condition) string {
+	ss := make([]string, len(cs))
+	for i, c := range cs {
+		if c.Value {
+			ss[i] = c.Atom
+		} else {
+			ss[i] = "!" + c.Atom
+		}
+	}
+	return strings.Join(ss, ", ")
+}
+
+func sortedResources(m map[kb.Resource]int64) []kb.Resource {
+	out := make([]kb.Resource, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExpr checks the expression parser never panics and that
+// anything it accepts round-trips through FormatExpr.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"ctx:a",
+		"ctx:a -> !ctx:b",
+		"(ctx:a | ctx:b) & ctx:c",
+		"a <-> b <-> c",
+		"!(!x)",
+		"true & false",
+		"-> ->", "((((", "a &&& b", "!",
+		"system:rdma-roce -> ctx:pfc_enabled",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		text := FormatExpr(e)
+		e2, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, text, err)
+		}
+		if FormatExpr(e2) != text {
+			t.Fatalf("format not idempotent: %q -> %q", text, FormatExpr(e2))
+		}
+	})
+}
+
+// FuzzParseString checks the block parser never panics and that accepted
+// inputs survive a Format/Parse round trip.
+func FuzzParseString(f *testing.F) {
+	f.Add(sampleDSL)
+	f.Add("system x {\n role: monitoring\n}\n")
+	f.Add("hardware \"a b\" {\n kind: nic\n}\n")
+	f.Add("rule r: ctx:a -> ctx:b\n")
+	f.Add("order d {\n a > b\n}\n")
+	f.Add("system {\n")
+	f.Add("}")
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		k2, err := ParseString(Format(k))
+		if err != nil {
+			t.Fatalf("accepted input failed round trip: %v", err)
+		}
+		if k.ComputeStats() != k2.ComputeStats() {
+			t.Fatalf("round trip changed stats")
+		}
+	})
+}
+
+func TestFuzzSeedsAreInteresting(t *testing.T) {
+	// The seed corpus must include both accepting and rejecting inputs so
+	// the fuzz targets exercise both paths even without -fuzz.
+	accept, reject := 0, 0
+	for _, seed := range []string{"ctx:a", "-> ->", "true & false", "(((("} {
+		if _, err := ParseExpr(seed); err == nil {
+			accept++
+		} else {
+			reject++
+		}
+	}
+	if accept == 0 || reject == 0 {
+		t.Error("seed corpus must cover both outcomes")
+	}
+	if !strings.Contains(sampleDSL, "system simon") {
+		t.Error("sample must include simon")
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments reproduces every evaluation artifact of the paper:
+// Figure 1, Listings 1–3, the §4 LLM study, the §5.1 prototype queries,
+// the §5.2 reasoner comparison, the §3.1 linearity metric, the PFC case
+// ([14], §3.4), and the greedy-baseline comparison. Each experiment is a
+// deterministic function returning a Result whose Pass field asserts the
+// paper's qualitative claim (the "shape": who wins, what is caught, what
+// grows linearly) — absolute numbers are ours, the shape is the paper's.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one reproduced experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (F1, L1, Q1, …).
+	ID string
+	// Title describes the artifact reproduced.
+	Title string
+	// PaperClaim is the qualitative claim the paper makes.
+	PaperClaim string
+	// Rows is the regenerated table; Rows[0] is the header.
+	Rows [][]string
+	// Finding summarizes what this reproduction measured.
+	Finding string
+	// Pass reports whether the measured shape matches the paper's claim.
+	Pass bool
+}
+
+// Table renders the rows as an aligned text table.
+func (r *Result) Table() string {
+	if len(r.Rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(r.Rows[0]))
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range r.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// String renders the full experiment report.
+func (r *Result) String() string {
+	status := "SHAPE-MATCH"
+	if !r.Pass {
+		status = "SHAPE-MISMATCH"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "paper:    %s\n", r.PaperClaim)
+	fmt.Fprintf(&b, "measured: %s\n", r.Finding)
+	if len(r.Rows) > 0 {
+		b.WriteString(r.Table())
+	}
+	return b.String()
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID  string
+	Run func() (*Result, error)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"F1", RunF1},
+		{"L1", RunL1},
+		{"L2", RunL2},
+		{"L3", RunL3},
+		{"Q1", RunQ1},
+		{"Q2", RunQ2},
+		{"Q3", RunQ3},
+		{"E4.1", RunE41},
+		{"E4.2", RunE42},
+		{"E5.2", RunE52},
+		{"M3.1", RunM31},
+		{"P1", RunP1},
+		{"B1", RunB1},
+		{"S1", RunS1},
+	}
+}
+
+// RunAll executes every experiment, returning results and the first error.
+func RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, r := range All() {
+		res, err := r.Run()
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", r.ID, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsShapeMatch is the repository's headline integration
+// test: every reproduced evaluation artifact must match the paper's
+// qualitative claim.
+func TestAllExperimentsShapeMatch(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("ran %d of %d experiments", len(results), len(All()))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s (%s): shape mismatch\n%s", r.ID, r.Title, r.String())
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		ID: "X", Title: "t", PaperClaim: "c", Finding: "f", Pass: true,
+		Rows: [][]string{{"a", "bb"}, {"ccc", "d"}},
+	}
+	s := r.String()
+	for _, want := range []string{"== X: t [SHAPE-MATCH]", "paper:    c", "measured: f", "ccc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "SHAPE-MISMATCH") {
+		t.Error("failing result must render as mismatch")
+	}
+	empty := &Result{ID: "Y"}
+	if empty.Table() != "" {
+		t.Error("empty rows must render empty table")
+	}
+}
+
+func TestEdgeSetsEqual(t *testing.T) {
+	a := [][2]string{{"a", "b"}, {"c", "d"}}
+	b := [][2]string{{"c", "d"}, {"a", "b"}}
+	if !edgeSetsEqual(a, b) {
+		t.Error("order must not matter")
+	}
+	if edgeSetsEqual(a, a[:1]) {
+		t.Error("length must matter")
+	}
+}
+
+func TestFig1ReferenceCoversAllDimensions(t *testing.T) {
+	for _, dim := range []string{"throughput", "isolation", "app_modification"} {
+		if len(fig1Reference[dim]) == 0 {
+			t.Errorf("no reference contexts for dimension %s", dim)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netarch/internal/catalog"
+	"netarch/internal/kb"
+	"netarch/internal/logic"
+	"netarch/internal/order"
+)
+
+// fig1Context is one environment under which Figure 1's guards resolve.
+type fig1Context struct {
+	label string
+	atoms map[string]bool
+}
+
+// fig1Reference is the expected Hasse edge set per dimension per context,
+// reconstructed from the figure and its accompanying prose (see
+// EXPERIMENTS.md for the derivation).
+var fig1Reference = map[string]map[string][][2]string{
+	"throughput": {
+		"low-rate": {
+			{"linux", "netchannel"},
+		},
+		"high-rate": {
+			{"demikernel", "linux"},
+			{"netchannel", "linux"},
+			{"zygos", "linux"},
+		},
+		"high-rate+pony": {
+			{"demikernel", "linux"},
+			{"netchannel", "linux"},
+			{"snap", "linux"},
+			{"zygos", "linux"},
+		},
+		"low-rate+tcp": {
+			{"linux", "netchannel"}, // snap merged with linux
+		},
+	},
+	"isolation": {
+		"low-rate": {
+			{"linux", "shenango"},
+			{"linux", "zygos"},
+			{"netchannel", "shenango"},
+			{"snap", "shenango"},
+		},
+	},
+	"app_modification": {
+		"low-rate": {
+			{"linux", "demikernel"},
+			{"linux", "zygos"},
+			{"netchannel", "demikernel"},
+			{"shenango", "demikernel"},
+		},
+		"high-rate+pony": {
+			{"linux", "demikernel"},
+			{"linux", "snap"},
+			{"linux", "zygos"},
+			{"netchannel", "demikernel"},
+			{"shenango", "demikernel"},
+		},
+	},
+}
+
+// resolveFig1 resolves one Figure 1 dimension under a context.
+func resolveFig1(spec kb.OrderSpec, atoms map[string]bool) (*order.Resolved, error) {
+	vo := logic.NewVocabulary()
+	g := order.New(spec.Dimension)
+	compileGuard := func(e *kb.Expr) (logic.Formula, error) {
+		if e == nil {
+			return logic.True, nil
+		}
+		return e.Compile(vo.Get)
+	}
+	for _, e := range spec.Edges {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(e.Better, e.Worse, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range spec.Equals {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEqual(e.A, e.B, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range catalog.Fig1Stacks() {
+		g.AddNode(s)
+	}
+	ctx := order.Context{}
+	for name, v := range atoms {
+		ctx[vo.Get("ctx:"+name)] = v
+	}
+	return g.Resolve(ctx)
+}
+
+// RunF1 reproduces Figure 1: the conditional partial ordering of six
+// network stacks along throughput, isolation, and application
+// modification, resolved under each interesting context, diffed against
+// the reference edge sets, and checked for the deliberate
+// Shenango–Demikernel isolation gap.
+func RunF1() (*Result, error) {
+	contexts := []fig1Context{
+		{"low-rate", map[string]bool{}},
+		{"high-rate", map[string]bool{catalog.CtxLoadGE40G: true}},
+		{"high-rate+pony", map[string]bool{catalog.CtxLoadGE40G: true, catalog.CtxPonyEnabled: true}},
+		{"low-rate+tcp", map[string]bool{catalog.CtxTCPEnabled: true}},
+	}
+	specs := []kb.OrderSpec{
+		catalog.Fig1Throughput(), catalog.Fig1Isolation(), catalog.Fig1AppModification(),
+	}
+	res := &Result{
+		ID:    "F1",
+		Title: "Figure 1: partial ordering of network stacks (guarded edges)",
+		PaperClaim: "rules of thumb form conditional partial orders; the Shenango–Demikernel " +
+			"isolation comparison is deliberately absent",
+		Rows: [][]string{{"dimension", "context", "hasse edges (better>worse)", "match"}},
+	}
+	pass := true
+	for _, spec := range specs {
+		for _, ctx := range contexts {
+			want, haveRef := fig1Reference[spec.Dimension][ctx.label]
+			if !haveRef {
+				continue
+			}
+			r, err := resolveFig1(spec, ctx.atoms)
+			if err != nil {
+				return nil, err
+			}
+			got := r.HasseEdges()
+			match := edgeSetsEqual(got, want)
+			if !match {
+				pass = false
+			}
+			res.Rows = append(res.Rows, []string{
+				spec.Dimension, ctx.label, renderEdges(got), fmt.Sprint(match),
+			})
+		}
+	}
+	// The explicit gap: Shenango vs Demikernel incomparable on isolation.
+	iso, err := resolveFig1(catalog.Fig1Isolation(), nil)
+	if err != nil {
+		return nil, err
+	}
+	gap := !iso.Comparable("shenango", "demikernel")
+	if !gap {
+		pass = false
+	}
+	res.Rows = append(res.Rows, []string{
+		"isolation", "any", "shenango ? demikernel incomparable", fmt.Sprint(gap),
+	})
+	res.Pass = pass
+	res.Finding = fmt.Sprintf(
+		"all %d resolved contexts match the reference edge sets; the isolation gap is preserved",
+		len(res.Rows)-2)
+	if !pass {
+		res.Finding = "edge set mismatch against the Figure 1 reference — see rows"
+	}
+	return res, nil
+}
+
+func renderEdges(edges [][2]string) string {
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e[0] + ">" + e[1]
+	}
+	return strings.Join(parts, " ")
+}
+
+func edgeSetsEqual(a, b [][2]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(es [][2]string) string {
+		ss := make([]string, len(es))
+		for i, e := range es {
+			ss[i] = e[0] + ">" + e[1]
+		}
+		sort.Strings(ss)
+		return strings.Join(ss, ",")
+	}
+	return key(a) == key(b)
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"netarch/internal/catalog"
+	"netarch/internal/core"
+	"netarch/internal/extract"
+	"netarch/internal/kb"
+)
+
+// RunL1 reproduces Listing 1: auto-generating the Cisco Catalyst 9500-40X
+// encoding from its spec sheet, field-exact.
+func RunL1() (*Result, error) {
+	llm := extract.NewSimulatedLLM(1)
+	got, err := llm.ExtractHardware(extract.CiscoSpecSheetText)
+	if err != nil {
+		return nil, err
+	}
+	want := catalog.CiscoCatalyst9500()
+	acc := extract.ScoreHardware(got, want)
+	res := &Result{
+		ID:         "L1",
+		Title:      "Listing 1: auto-generated encoding for the Cisco Catalyst 9500-40X",
+		PaperClaim: "the LLM extracted the fields with 100% accuracy from the structured spec sheet",
+		Rows:       [][]string{{"field", "extracted", "reference", "match"}},
+	}
+	for _, attr := range []string{
+		"Model Name", "Port Bandwidth", "Max Power Consumption", "Ports",
+		"Memory", "P4 Supported?", "# P4 Stages", "ECN supported?",
+		"MAC Address Table Size",
+	} {
+		res.Rows = append(res.Rows, []string{
+			attr, got.Attrs[attr], want.Attrs[attr],
+			fmt.Sprint(got.Attrs[attr] == want.Attrs[attr]),
+		})
+	}
+	res.Pass = acc.Frac() == 1.0
+	res.Finding = fmt.Sprintf("field accuracy %.0f%% (%d/%d fields)",
+		100*acc.Frac(), acc.Correct, acc.Total)
+	return res, nil
+}
+
+// RunL2 reproduces Listing 2: the SIMON system encoding — objectives,
+// hardware constraint, per-flow core cost, and the two orderings against
+// Pingmesh — and verifies the engine honours each element.
+func RunL2() (*Result, error) {
+	k := catalog.Default()
+	eng, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:         "L2",
+		Title:      "Listing 2: the SIMON encoding drives the engine",
+		PaperClaim: "a system encoding lists solves, hardware constraints, resource needs, and partial orderings",
+		Rows:       [][]string{{"element", "check", "holds"}},
+	}
+	pass := true
+	record := func(element, check string, holds bool) {
+		if !holds {
+			pass = false
+		}
+		res.Rows = append(res.Rows, []string{element, check, fmt.Sprint(holds)})
+	}
+
+	simon := k.SystemByName("simon")
+	record("solves", "capture_delays & detect_queue_length",
+		simon.SolvesProp("capture_delays") && simon.SolvesProp("detect_queue_length"))
+	record("constraints", "NICs.have(NIC_TIMESTAMPS)",
+		hasCapReq(simon, kb.KindNIC, kb.CapNICTimestamps))
+	record("resources", "cores_needed(CPU_FACTOR*num_flows)", simon.CoresPerKFlows > 0)
+
+	// Deploying simon must force a timestamping SmartNIC.
+	rep, err := eng.Synthesize(core.Scenario{PinnedSystems: []string{"simon"}})
+	if err != nil {
+		return nil, err
+	}
+	ok := rep.Verdict == core.Feasible
+	if ok {
+		nic := k.HardwareByName(rep.Design.Hardware[kb.KindNIC])
+		ok = nic.HasCap(kb.CapNICTimestamps) &&
+			(nic.HasCap(kb.CapSmartNICCPU) || nic.HasCap(kb.CapSmartNICFPGA))
+	}
+	record("engine", "simon deployment selects a timestamping SmartNIC", ok)
+
+	// Orderings: simon > pingmesh (monitoring), pingmesh > simon (ease).
+	mon := k.OrderByDimension("monitoring")
+	ease := k.OrderByDimension("deployment_ease")
+	record("ordering", "Ordering(SIMON, monitoring, better_than=PINGMESH)",
+		hasEdge(mon, "simon", "pingmesh"))
+	record("ordering", "Ordering(PINGMESH, deployment_ease, better_than=SIMON)",
+		hasEdge(ease, "pingmesh", "simon"))
+
+	res.Pass = pass
+	res.Finding = "every Listing 2 element is present in the catalog encoding and enforced by the engine"
+	if !pass {
+		res.Finding = "some Listing 2 element missing or unenforced — see rows"
+	}
+	return res, nil
+}
+
+func hasCapReq(s *kb.System, kind kb.HardwareKind, cap kb.Capability) bool {
+	for _, c := range s.RequiresCaps[kind] {
+		if c == cap {
+			return true
+		}
+	}
+	return false
+}
+
+func hasEdge(spec *kb.OrderSpec, better, worse string) bool {
+	if spec == nil {
+		return false
+	}
+	for _, e := range spec.Edges {
+		if e.Better == better && e.Worse == worse {
+			return true
+		}
+	}
+	return false
+}
+
+// RunL3 reproduces Listing 3: the ML-inference workload encoding with its
+// performance bound and the lexicographic objective
+// Optimize(latency > Hardware cost > monitoring).
+func RunL3() (*Result, error) {
+	k := catalog.CaseStudy()
+	eng, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	sc := core.Scenario{
+		Workloads: []string{"inference_app"},
+		Context:   map[string]bool{"app_modifiable": true},
+		Bounds: []core.PerformanceBound{
+			{Dimension: "load_balancing", Reference: "packet-spraying"},
+		},
+	}
+	objectives := []core.Objective{
+		{Kind: core.PreferOrder, Dimension: "tail_latency"}, // latency
+		{Kind: core.MinimizeCost},                           // hardware cost
+		{Kind: core.PreferOrder, Dimension: "monitoring"},   // monitoring
+	}
+	opt, err := eng.Optimize(sc, objectives)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:         "L3",
+		Title:      "Listing 3: ML inference workload, Optimize(latency > hw cost > monitoring)",
+		PaperClaim: "workload encodings carry properties, placement, resource peaks, performance bounds, and a lexicographic objective",
+		Rows:       [][]string{{"aspect", "value"}},
+	}
+	if opt.Verdict != core.Feasible {
+		res.Finding = "case study infeasible: " + opt.Explanation.String()
+		return res, nil
+	}
+	d := opt.Design
+	res.Rows = append(res.Rows,
+		[]string{"systems", strings.Join(d.Systems, " ")},
+		[]string{"switch", d.Hardware[kb.KindSwitch]},
+		[]string{"nic", d.Hardware[kb.KindNIC]},
+		[]string{"server", d.Hardware[kb.KindServer]},
+		[]string{"latency penalty (lvl 1)", fmt.Sprint(opt.ObjectiveValues[0])},
+		[]string{"hardware cost USD (lvl 2)", fmt.Sprint(opt.ObjectiveValues[1])},
+		[]string{"monitoring penalty (lvl 3)", fmt.Sprint(opt.ObjectiveValues[2])},
+		[]string{"cores used/total", fmt.Sprintf("%d/%d", d.Metrics["cores_used"], d.Metrics["cores_total"])},
+	)
+	// Shape checks: the bound forces packet spraying; the reorder-buffer
+	// dependency (§2.3) must follow; objectives must be at their minima
+	// (penalties 0 since nothing blocks the maximal choices here).
+	nic := k.HardwareByName(d.Hardware[kb.KindNIC])
+	res.Pass = d.HasSystem("packet-spraying") &&
+		nic.HasCap("LARGE_REORDER_BUFFER") &&
+		opt.ObjectiveValues[0] == 0 &&
+		d.Metrics["cores_used"] <= d.Metrics["cores_total"]
+	res.Finding = fmt.Sprintf(
+		"performance bound forced packet-spraying, which pulled in a reorder-buffer NIC (%s); lexicographic optimum cost $%d",
+		nic.Name, opt.ObjectiveValues[1])
+	return res, nil
+}

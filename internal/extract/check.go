@@ -1,0 +1,288 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+
+	"netarch/internal/kb"
+)
+
+// Issue is one problem a checking pass found in a candidate encoding.
+type Issue struct {
+	// Kind is one of "missing_requirement", "missing_condition",
+	// "missing_resource", "wrong_value", "subjective_claim".
+	Kind   string
+	Detail string
+}
+
+// String renders the issue.
+func (i Issue) String() string { return i.Kind + ": " + i.Detail }
+
+// CheckSystemEncoding re-reads the source document and reports issues in
+// a candidate encoding. Per §4.2, the check is asymmetric by
+// construction: the *existence* of a requirement or condition is verified
+// reliably, but a numeric value is only refutable when the value matches
+// none of the numbers in the source sentence — number-loaded sentences
+// cannot pin the value down.
+func CheckSystemEncoding(sys kb.System, doc SystemDoc) []Issue {
+	var issues []Issue
+
+	// Requirement existence: every capability marker in the document
+	// must appear in the encoding (the Shenango interrupt-polling case).
+	for _, sent := range doc.Sentences {
+		lower := strings.ToLower(sent)
+		for _, mk := range capMarkers {
+			if !strings.Contains(lower, mk.phrase) {
+				continue
+			}
+			if !hasCap(sys.RequiresCaps[mk.kind], mk.cap) {
+				issues = append(issues, Issue{
+					Kind: "missing_requirement",
+					Detail: fmt.Sprintf("document requires %s on %s (%q) but the encoding omits it",
+						mk.cap, mk.kind, sent),
+				})
+			}
+		}
+		// Condition existence.
+		if cond, ok := conditionFrom(lower); ok {
+			if !hasCondition(sys, cond) {
+				issues = append(issues, Issue{
+					Kind: "missing_condition",
+					Detail: fmt.Sprintf("document states a condition (%s=%v: %q) the encoding omits",
+						cond.Atom, cond.Value, sent),
+				})
+			}
+		}
+		// Resource value check: refutable only against the sentence's
+		// own numbers.
+		if res, _, ok := resourceFrom(lower); ok {
+			nums := allNumbers(lower)
+			var encoded int64
+			var present bool
+			if res == "cores_per_kflows" {
+				encoded, present = sys.CoresPerKFlows, sys.CoresPerKFlows != 0
+			} else {
+				encoded, present = sys.Resources[kb.Resource(res)], sys.Resources[kb.Resource(res)] != 0
+			}
+			if !present {
+				issues = append(issues, Issue{
+					Kind:   "missing_resource",
+					Detail: fmt.Sprintf("document quantifies %s (%q) but the encoding omits it", res, sent),
+				})
+				continue
+			}
+			found := false
+			for _, n := range nums {
+				if n == encoded {
+					found = true
+					break
+				}
+			}
+			if !found {
+				issues = append(issues, Issue{
+					Kind: "wrong_value",
+					Detail: fmt.Sprintf("encoding says %s=%d but the document sentence %q contains %v",
+						res, encoded, sent, nums),
+				})
+			}
+		}
+	}
+	return issues
+}
+
+// hasCondition reports whether the encoding contains the condition in
+// either its deployability or usefulness lists.
+func hasCondition(sys kb.System, cond kb.Condition) bool {
+	for _, c := range sys.RequiresContext {
+		if c == cond {
+			return true
+		}
+	}
+	for _, c := range sys.UsefulOnlyWhen {
+		if c == cond {
+			return true
+		}
+	}
+	return false
+}
+
+// AllNumbers extracts every integer in a string (commas inside digit runs
+// are treated as thousands separators).
+func AllNumbers(s string) []int64 { return allNumbers(s) }
+
+// ResourceMention reports the resource a sentence quantifies and the
+// value a naive first-number reading gives, if any.
+func ResourceMention(sentence string) (resource string, value int64, ok bool) {
+	return resourceFrom(strings.ToLower(sentence))
+}
+
+// allNumbers extracts every integer in a string.
+func allNumbers(s string) []int64 {
+	var out []int64
+	for i := 0; i < len(s); {
+		if s[i] < '0' || s[i] > '9' {
+			i++
+			continue
+		}
+		j := i
+		var v int64
+		for j < len(s) && ((s[j] >= '0' && s[j] <= '9') || (s[j] == ',' && j+1 < len(s) && s[j+1] >= '0' && s[j+1] <= '9')) {
+			if s[j] != ',' {
+				v = v*10 + int64(s[j]-'0')
+			}
+			j++
+		}
+		out = append(out, v)
+		i = j
+	}
+	return out
+}
+
+// subjectiveMarkers are comparative phrasings that make a claim
+// subjective rather than checkable (§4.2: objective properties vs
+// controversial comparisons).
+var subjectiveMarkers = []string{
+	"better than", "better", "worse", "outperforms", "beats",
+	"faster than", "slower than", "best", "superior", "wins",
+}
+
+// IsSubjective reports whether a claim reads as a comparison/opinion
+// rather than an objective, checkable fact.
+func IsSubjective(claim string) bool {
+	lower := strings.ToLower(claim)
+	for _, m := range subjectiveMarkers {
+		if strings.Contains(lower, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckObjectivity partitions claims into objective facts and subjective
+// comparisons, the split the paper says the final design must make (§4.2).
+func CheckObjectivity(claims []string) (objective, subjective []string) {
+	for _, c := range claims {
+		if IsSubjective(c) {
+			subjective = append(subjective, c)
+		} else {
+			objective = append(objective, c)
+		}
+	}
+	return objective, subjective
+}
+
+// Accuracy is a field-level extraction score.
+type Accuracy struct {
+	Correct int
+	Total   int
+}
+
+// Frac returns the accuracy fraction (1.0 when Total is 0).
+func (a Accuracy) Frac() float64 {
+	if a.Total == 0 {
+		return 1.0
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// Add accumulates another score.
+func (a *Accuracy) Add(b Accuracy) {
+	a.Correct += b.Correct
+	a.Total += b.Total
+}
+
+// ScoreHardware compares an extracted hardware encoding against the
+// reference, field by field: kind, every capability, every quantity, and
+// cost.
+func ScoreHardware(got, want kb.Hardware) Accuracy {
+	var a Accuracy
+	score := func(ok bool) {
+		a.Total++
+		if ok {
+			a.Correct++
+		}
+	}
+	score(got.Name == want.Name)
+	score(got.Kind == want.Kind)
+	capsU := map[kb.Capability]bool{}
+	for _, c := range got.Caps {
+		capsU[c] = true
+	}
+	for _, c := range want.Caps {
+		capsU[c] = true
+	}
+	for c := range capsU {
+		score(got.HasCap(c) == want.HasCap(c))
+	}
+	quantU := map[kb.Resource]bool{}
+	for r := range got.Quant {
+		quantU[r] = true
+	}
+	for r := range want.Quant {
+		quantU[r] = true
+	}
+	for r := range quantU {
+		score(got.Q(r) == want.Q(r))
+	}
+	if got.CostUSD != 0 || want.CostUSD != 0 {
+		score(got.CostUSD == want.CostUSD)
+	}
+	return a
+}
+
+// ScoreSystem compares an extracted system encoding against the
+// reference: capability requirements, conditions, and resource numbers.
+func ScoreSystem(got, want kb.System) Accuracy {
+	var a Accuracy
+	score := func(ok bool) {
+		a.Total++
+		if ok {
+			a.Correct++
+		}
+	}
+	// Capability requirements (union of both sides).
+	type kc struct {
+		kind kb.HardwareKind
+		cap  kb.Capability
+	}
+	capsU := map[kc]bool{}
+	for kind, caps := range got.RequiresCaps {
+		for _, c := range caps {
+			capsU[kc{kind, c}] = true
+		}
+	}
+	for kind, caps := range want.RequiresCaps {
+		for _, c := range caps {
+			capsU[kc{kind, c}] = true
+		}
+	}
+	for k := range capsU {
+		score(hasCap(got.RequiresCaps[k.kind], k.cap) == hasCap(want.RequiresCaps[k.kind], k.cap))
+	}
+	// Conditions (union; membership in either list counts).
+	condsU := map[kb.Condition]bool{}
+	for _, c := range append(append([]kb.Condition{}, got.RequiresContext...), got.UsefulOnlyWhen...) {
+		condsU[c] = true
+	}
+	for _, c := range append(append([]kb.Condition{}, want.RequiresContext...), want.UsefulOnlyWhen...) {
+		condsU[c] = true
+	}
+	for c := range condsU {
+		score(hasCondition(got, c) == hasCondition(want, c))
+	}
+	// Resources.
+	resU := map[kb.Resource]bool{}
+	for r := range got.Resources {
+		resU[r] = true
+	}
+	for r := range want.Resources {
+		resU[r] = true
+	}
+	for r := range resU {
+		score(got.Resources[r] == want.Resources[r])
+	}
+	if got.CoresPerKFlows != 0 || want.CoresPerKFlows != 0 {
+		score(got.CoresPerKFlows == want.CoresPerKFlows)
+	}
+	return a
+}

@@ -1,0 +1,214 @@
+package extract
+
+import "netarch/internal/kb"
+
+// CiscoSpecSheetText is the bundled vendor spec sheet for the Cisco
+// Catalyst 9500-40X — the source document behind Listing 1 of the paper.
+const CiscoSpecSheetText = `Cisco Catalyst 9500 Series Data Sheet
+
+Model Name: Cisco Catalyst 9500-40X
+Port Bandwidth: 10 Gbps
+Max Power Consumption: 950W
+Ports: 40x 10 Gigabit Ethernet SFP+
+Memory: 16 GB
+P4 Supported?: No
+# P4 Stages: N/A
+ECN supported?: Yes
+MAC Address Table Size: 64,000 entries
+`
+
+// SystemDoc is a source document describing a system: the prose a human
+// or LLM extracts an encoding from, plus the ground-truth encoding used
+// for scoring.
+type SystemDoc struct {
+	Name      string
+	Role      kb.Role
+	Sentences []string
+	// Truth is the reference encoding an expert would write.
+	Truth kb.System
+}
+
+// SystemDocs returns the corpus of system descriptions used by the §4
+// experiments. Sentences follow the conventions of systems papers: direct
+// requirement statements, conditional applicability buried mid-prose, and
+// resource numbers inline.
+func SystemDocs() []SystemDoc {
+	return []SystemDoc{
+		{
+			Name: "timely", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"TIMELY uses RTT gradients as its congestion signal.",
+				"It requires NIC timestamps to measure RTTs precisely.",
+				"Acknowledgements must travel in a dedicated QoS class, consuming 1 of the fabric's 8 QoS classes.",
+				"As a delay-based scheme it only works when run as a scavenger transport with deep queues.",
+			},
+			Truth: kb.System{
+				Name: "timely", Role: kb.RoleCongestionControl,
+				Solves:       []kb.Property{"congestion_control"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+				Resources:    map[kb.Resource]int64{kb.ResQoSClasses: 1},
+				RequiresContext: []kb.Condition{
+					{Atom: "scavenger_ok", Value: true},
+					{Atom: "deep_queues", Value: true},
+				},
+			},
+		},
+		{
+			Name: "swift", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"Swift targets a small fixed delay using NIC timestamps.",
+				"It requires NIC timestamps and consumes 1 QoS class for acknowledgements.",
+				"Like other delay-based schemes it only works when deployed as a scavenger transport with deep queues.",
+			},
+			Truth: kb.System{
+				Name: "swift", Role: kb.RoleCongestionControl,
+				Solves:       []kb.Property{"congestion_control"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+				Resources:    map[kb.Resource]int64{kb.ResQoSClasses: 1},
+				RequiresContext: []kb.Condition{
+					{Atom: "scavenger_ok", Value: true},
+					{Atom: "deep_queues", Value: true},
+				},
+			},
+		},
+		{
+			Name: "hpcc", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"HPCC leverages in-network telemetry for precise congestion control.",
+				"It requires INT-enabled switches along every path.",
+			},
+			Truth: kb.System{
+				Name: "hpcc", Role: kb.RoleCongestionControl,
+				Solves:       []kb.Property{"congestion_control"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapINT}},
+			},
+		},
+		{
+			Name: "annulus", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"Annulus adds a second control loop reacting to QCN notifications from switches.",
+				"It requires QCN support at switches.",
+				"The mechanism is only needed when WAN and datacenter traffic compete at the same bottleneck.",
+			},
+			Truth: kb.System{
+				Name: "annulus", Role: kb.RoleCongestionControl,
+				Solves:         []kb.Property{"congestion_control"},
+				RequiresCaps:   map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapQCN}},
+				UsefulOnlyWhen: []kb.Condition{{Atom: "wan_dc_mix", Value: true}},
+			},
+		},
+		{
+			Name: "shenango", Role: kb.RoleNetworkStack,
+			Sentences: []string{
+				"Shenango achieves high CPU efficiency by reallocating cores at microsecond scale.",
+				"It dedicates 1 core for spin polling.",
+				"The NIC must support interrupt polling for the IOKernel's fast path.",
+				"It requires DPDK-capable NICs.",
+			},
+			Truth: kb.System{
+				Name: "shenango", Role: kb.RoleNetworkStack,
+				Solves: []kb.Property{"low_latency_stack"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{
+					kb.KindNIC: {kb.CapDPDK, kb.CapInterruptPoll},
+				},
+				Resources: map[kb.Resource]int64{kb.ResCores: 1},
+			},
+		},
+		{
+			Name: "sonata", Role: kb.RoleMonitoring,
+			Sentences: []string{
+				"Sonata compiles streaming telemetry queries onto programmable switches.",
+				"It requires P4 programmable switches.",
+				"A typical query pipeline of 4 queries uses 8 P4 stages.",
+			},
+			Truth: kb.System{
+				Name: "sonata", Role: kb.RoleMonitoring,
+				Solves:       []kb.Property{"flow_telemetry", "detect_queue_length"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+				Resources:    map[kb.Resource]int64{kb.ResP4Stages: 8},
+			},
+		},
+		{
+			Name: "simon", Role: kb.RoleMonitoring,
+			Sentences: []string{
+				"SIMON reconstructs per-queue delays from edge timestamps.",
+				"It requires NIC timestamps on every server.",
+				"Reconstruction consumes 2 cores per thousand flows.",
+			},
+			Truth: kb.System{
+				Name: "simon", Role: kb.RoleMonitoring,
+				Solves:         []kb.Property{"capture_delays", "detect_queue_length"},
+				RequiresCaps:   map[kb.HardwareKind][]kb.Capability{kb.KindNIC: {kb.CapNICTimestamps}},
+				CoresPerKFlows: 2,
+			},
+		},
+		{
+			Name: "dctcp", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"DCTCP reacts to the fraction of ECN-marked packets.",
+				"It requires ECN marking at switches along the path.",
+			},
+			Truth: kb.System{
+				Name: "dctcp", Role: kb.RoleCongestionControl,
+				Solves:       []kb.Property{"congestion_control"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapECN}},
+			},
+		},
+		{
+			Name: "bfc", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"BFC performs per-hop, per-flow backpressure.",
+				"It requires P4 programmable switches.",
+				"The dataplane program occupies 6 P4 stages of the pipeline.",
+			},
+			Truth: kb.System{
+				Name: "bfc", Role: kb.RoleCongestionControl,
+				Solves:       []kb.Property{"congestion_control"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+				Resources:    map[kb.Resource]int64{kb.ResP4Stages: 6},
+			},
+		},
+		{
+			Name: "marple", Role: kb.RoleMonitoring,
+			Sentences: []string{
+				"Marple compiles performance queries to switch hardware.",
+				"It requires P4 programmable switches.",
+				"A full query set of 7 operators consumes 10 P4 stages.",
+			},
+			Truth: kb.System{
+				Name: "marple", Role: kb.RoleMonitoring,
+				Solves:       []kb.Property{"flow_telemetry"},
+				RequiresCaps: map[kb.HardwareKind][]kb.Capability{kb.KindSwitch: {kb.CapP4}},
+				Resources:    map[kb.Resource]int64{kb.ResP4Stages: 10},
+			},
+		},
+		{
+			Name: "vegas", Role: kb.RoleCongestionControl,
+			Sentences: []string{
+				"Vegas infers congestion from RTT increases before loss occurs.",
+				"As a delay-based scheme it only works when run as a scavenger transport beneath loss-based traffic.",
+			},
+			Truth: kb.System{
+				Name: "vegas", Role: kb.RoleCongestionControl,
+				Solves: []kb.Property{"congestion_control"},
+				RequiresContext: []kb.Condition{
+					{Atom: "scavenger_ok", Value: true},
+				},
+			},
+		},
+		{
+			Name: "netchannel", Role: kb.RoleNetworkStack,
+			Sentences: []string{
+				"NetChannel disaggregates the host network stack into channels.",
+				"Its benefits only appear at link speeds of 40 Gbps and above.",
+				"The data path consumes 3 cores for channel processing.",
+			},
+			Truth: kb.System{
+				Name: "netchannel", Role: kb.RoleNetworkStack,
+				Solves:         []kb.Property{"high_throughput_stack"},
+				UsefulOnlyWhen: []kb.Condition{{Atom: "load_ge_40gbps", Value: true}},
+				Resources:      map[kb.Resource]int64{kb.ResCores: 3},
+			},
+		},
+	}
+}

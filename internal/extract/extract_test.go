@@ -1,0 +1,364 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"netarch/internal/catalog"
+	"netarch/internal/kb"
+)
+
+func TestParseSpecSheet(t *testing.T) {
+	fields, err := ParseSpecSheet(CiscoSpecSheetText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fields["Model Name"] != "Cisco Catalyst 9500-40X" {
+		t.Errorf("Model Name: %q", fields["Model Name"])
+	}
+	if fields["Ports"] != "40x 10 Gigabit Ethernet SFP+" {
+		t.Errorf("Ports: %q", fields["Ports"])
+	}
+	if _, ok := fields["Cisco Catalyst 9500 Series Data Sheet"]; ok {
+		t.Error("header line must not become a field")
+	}
+	if _, err := ParseSpecSheet("just prose\nno fields here\n"); err == nil {
+		t.Error("field-free text must error")
+	}
+}
+
+func TestListing1ExtractionExact(t *testing.T) {
+	// L1: extraction from the bundled spec sheet must reproduce the
+	// catalog's Listing 1 encoding field-for-field.
+	m := NewSimulatedLLM(1)
+	got, err := m.ExtractHardware(CiscoSpecSheetText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := catalog.CiscoCatalyst9500()
+	if got.Name != want.Name || got.Kind != want.Kind {
+		t.Errorf("identity: got %s/%s", got.Name, got.Kind)
+	}
+	for _, attr := range []string{
+		"Model Name", "Port Bandwidth", "Max Power Consumption", "Ports",
+		"Memory", "P4 Supported?", "# P4 Stages", "ECN supported?",
+		"MAC Address Table Size",
+	} {
+		if got.Attrs[attr] != want.Attrs[attr] {
+			t.Errorf("attr %q: got %q, want %q", attr, got.Attrs[attr], want.Attrs[attr])
+		}
+	}
+	acc := ScoreHardware(got, want)
+	if acc.Frac() != 1.0 {
+		t.Errorf("Listing 1 accuracy: got %.2f, want 1.0 (%+v)", acc.Frac(), acc)
+	}
+}
+
+func TestHardwareExtractionCorpus100Percent(t *testing.T) {
+	// §4.1: 100% accuracy across the full ~200-spec corpus.
+	m := NewSimulatedLLM(2)
+	var total Accuracy
+	for _, h := range catalog.Hardware() {
+		h := h
+		text := RenderSpecSheet(&h)
+		got, err := m.ExtractHardware(text)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		acc := ScoreHardware(got, h)
+		if acc.Frac() != 1.0 {
+			t.Fatalf("%s: accuracy %.2f (%+v)\nsheet:\n%s", h.Name, acc.Frac(), acc, text)
+		}
+		total.Add(acc)
+	}
+	if total.Frac() != 1.0 {
+		t.Errorf("corpus accuracy %.4f, want 1.0", total.Frac())
+	}
+}
+
+func TestSystemExtractionMissesNuances(t *testing.T) {
+	// §4.1: hardware requirements reliably found; conditions missed.
+	m := NewSimulatedLLM(7)
+	var capAcc, condAcc Accuracy
+	trials := 50
+	for trial := 0; trial < trials; trial++ {
+		for _, doc := range SystemDocs() {
+			got := m.ExtractSystem(doc)
+			// Capability requirements must always be found.
+			for kind, caps := range doc.Truth.RequiresCaps {
+				for _, c := range caps {
+					capAcc.Total++
+					if hasCap(got.RequiresCaps[kind], c) {
+						capAcc.Correct++
+					}
+				}
+			}
+			// Conditions are found only sometimes.
+			for _, c := range append(append([]kb.Condition{}, doc.Truth.RequiresContext...), doc.Truth.UsefulOnlyWhen...) {
+				condAcc.Total++
+				if hasCondition(got, c) {
+					condAcc.Correct++
+				}
+			}
+		}
+	}
+	if capAcc.Frac() != 1.0 {
+		t.Errorf("capability extraction: got %.2f, want 1.0", capAcc.Frac())
+	}
+	if condAcc.Frac() > 0.7 {
+		t.Errorf("condition extraction should miss nuances: got %.2f", condAcc.Frac())
+	}
+	if condAcc.Frac() < 0.1 {
+		t.Errorf("condition extraction should not be hopeless: got %.2f", condAcc.Frac())
+	}
+}
+
+func TestExtractionDeterministicPerSeed(t *testing.T) {
+	a := NewSimulatedLLM(42)
+	b := NewSimulatedLLM(42)
+	for _, doc := range SystemDocs() {
+		sa := a.ExtractSystem(doc)
+		sb := b.ExtractSystem(doc)
+		if ScoreSystem(sa, sb).Frac() != 1.0 {
+			t.Fatalf("%s: same seed produced different encodings", doc.Name)
+		}
+	}
+}
+
+func TestCheckerFindsMissingShenangoRequirement(t *testing.T) {
+	// §4.2's concrete example: "it identified that we missed checking
+	// whether the NIC supports interrupt polling, which is a requirement
+	// for Shenango."
+	var doc SystemDoc
+	for _, d := range SystemDocs() {
+		if d.Name == "shenango" {
+			doc = d
+		}
+	}
+	broken := doc.Truth
+	broken.RequiresCaps = map[kb.HardwareKind][]kb.Capability{
+		kb.KindNIC: {kb.CapDPDK}, // interrupt polling omitted
+	}
+	issues := CheckSystemEncoding(broken, doc)
+	found := false
+	for _, is := range issues {
+		if is.Kind == "missing_requirement" && strings.Contains(is.Detail, "INTERRUPT_POLLING") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("checker must flag the missing interrupt-polling requirement: %v", issues)
+	}
+	// The correct encoding raises no missing-requirement issues.
+	for _, is := range CheckSystemEncoding(doc.Truth, doc) {
+		if is.Kind == "missing_requirement" || is.Kind == "missing_condition" {
+			t.Errorf("truth encoding flagged: %v", is)
+		}
+	}
+}
+
+func TestCheckerFlagsWrongSonataStages(t *testing.T) {
+	// §4.2: "it does raise an alarm if we encode the wrong number of P4
+	// stages to deploy Sonata."
+	var doc SystemDoc
+	for _, d := range SystemDocs() {
+		if d.Name == "sonata" {
+			doc = d
+		}
+	}
+	broken := doc.Truth
+	broken.Resources = map[kb.Resource]int64{kb.ResP4Stages: 16} // wrong
+	issues := CheckSystemEncoding(broken, doc)
+	found := false
+	for _, is := range issues {
+		if is.Kind == "wrong_value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("checker must flag the wrong stage count: %v", issues)
+	}
+}
+
+func TestCheckerValueAsymmetry(t *testing.T) {
+	// §4.2: existence checks beat value checks. A value matching *some*
+	// number in a number-loaded sentence escapes detection.
+	var doc SystemDoc
+	for _, d := range SystemDocs() {
+		if d.Name == "sonata" {
+			doc = d
+		}
+	}
+	// "A typical query pipeline of 4 queries uses 8 P4 stages": encoding
+	// stages=4 is wrong but matches a sentence number → escapes.
+	sneaky := doc.Truth
+	sneaky.Resources = map[kb.Resource]int64{kb.ResP4Stages: 4}
+	for _, is := range CheckSystemEncoding(sneaky, doc) {
+		if is.Kind == "wrong_value" {
+			t.Errorf("number-loaded sentence should mask the plausible wrong value: %v", is)
+		}
+	}
+	// Removing the resource entirely is always caught (existence).
+	missing := doc.Truth
+	missing.Resources = nil
+	caught := false
+	for _, is := range CheckSystemEncoding(missing, doc) {
+		if is.Kind == "missing_resource" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("existence check must catch the missing resource")
+	}
+}
+
+func TestCheckerCatchRates(t *testing.T) {
+	// E4.2 aggregate: existence-class errors are caught at a higher rate
+	// than value-class errors across the corpus.
+	docs := SystemDocs()
+	var existenceCaught, existenceTotal, valueCaught, valueTotal int
+	for _, doc := range docs {
+		// Existence perturbation: drop each condition and each cap.
+		truth := doc.Truth
+		for kind, caps := range truth.RequiresCaps {
+			for _, c := range caps {
+				broken := truth
+				broken.RequiresCaps = map[kb.HardwareKind][]kb.Capability{}
+				for k2, cs := range truth.RequiresCaps {
+					for _, c2 := range cs {
+						if k2 == kind && c2 == c {
+							continue
+						}
+						broken.RequiresCaps[k2] = append(broken.RequiresCaps[k2], c2)
+					}
+				}
+				existenceTotal++
+				for _, is := range CheckSystemEncoding(broken, doc) {
+					if is.Kind == "missing_requirement" {
+						existenceCaught++
+						break
+					}
+				}
+			}
+		}
+		// Value perturbations: off-by-one (usually refutable) and the
+		// "plausible confusion" variant — swapping in another number
+		// from the same sentence, which a source-grounded check cannot
+		// refute (§4.2: conditions "loaded with numbers").
+		for r, v := range truth.Resources {
+			alts := []int64{v + 1}
+			for _, sent := range doc.Sentences {
+				lower := strings.ToLower(sent)
+				if res, _, ok := resourceFrom(lower); ok && res == string(r) {
+					for _, n := range allNumbers(lower) {
+						if n != v {
+							alts = append(alts, n)
+						}
+					}
+				}
+			}
+			for _, alt := range alts {
+				broken := truth
+				broken.Resources = map[kb.Resource]int64{}
+				for r2, v2 := range truth.Resources {
+					broken.Resources[r2] = v2
+				}
+				broken.Resources[r] = alt
+				valueTotal++
+				for _, is := range CheckSystemEncoding(broken, doc) {
+					if is.Kind == "wrong_value" {
+						valueCaught++
+						break
+					}
+				}
+			}
+		}
+	}
+	if existenceTotal == 0 || valueTotal == 0 {
+		t.Fatal("corpus must exercise both error classes")
+	}
+	exRate := float64(existenceCaught) / float64(existenceTotal)
+	valRate := float64(valueCaught) / float64(valueTotal)
+	if exRate != 1.0 {
+		t.Errorf("existence catch rate: got %.2f, want 1.0", exRate)
+	}
+	if valRate >= exRate {
+		t.Errorf("value catch rate (%.2f) must be below existence rate (%.2f)", valRate, exRate)
+	}
+}
+
+func TestObjectivitySplit(t *testing.T) {
+	claims := []string{
+		"Shenango dedicates a core for spin polling",
+		"Simon is better than Pingmesh for monitoring",
+		"HPCC requires INT-enabled switches",
+		"Snap with Pony Express outperforms the kernel stack",
+	}
+	obj, subj := CheckObjectivity(claims)
+	if len(obj) != 2 || len(subj) != 2 {
+		t.Fatalf("split wrong: objective=%v subjective=%v", obj, subj)
+	}
+	if !IsSubjective("A beats B") || IsSubjective("A requires B") {
+		t.Error("IsSubjective misclassifies")
+	}
+}
+
+func TestOrderNotesAreMostlySubjective(t *testing.T) {
+	// §4.2: "the controversial questions were all about comparisons
+	// between systems" — order-edge notes (comparisons) should skew
+	// subjective relative to system constraint notes.
+	var orderNotes, constraintNotes []string
+	for _, spec := range catalog.Orders() {
+		for _, e := range spec.Edges {
+			orderNotes = append(orderNotes, e.Note)
+		}
+	}
+	for _, s := range catalog.Systems() {
+		for _, n := range s.Notes {
+			constraintNotes = append(constraintNotes, n)
+		}
+	}
+	_, subjOrder := CheckObjectivity(orderNotes)
+	_, subjConstraint := CheckObjectivity(constraintNotes)
+	orderRate := float64(len(subjOrder)) / float64(len(orderNotes))
+	constraintRate := float64(len(subjConstraint)) / float64(len(constraintNotes))
+	if orderRate <= constraintRate {
+		t.Errorf("order notes should be more subjective: order=%.2f constraint=%.2f",
+			orderRate, constraintRate)
+	}
+}
+
+func TestFirstNumberAndAllNumbers(t *testing.T) {
+	if v, ok := firstNumber("64,000 entries"); !ok || v != 64000 {
+		t.Errorf("firstNumber comma: got %d %v", v, ok)
+	}
+	if v, ok := firstNumber("40x 10 Gigabit"); !ok || v != 40 {
+		t.Errorf("firstNumber: got %d %v", v, ok)
+	}
+	if _, ok := firstNumber("no digits"); ok {
+		t.Error("firstNumber must fail without digits")
+	}
+	nums := allNumbers("4 queries uses 8 p4 stages")
+	if len(nums) != 3 || nums[0] != 4 || nums[1] != 8 || nums[2] != 4 {
+		t.Errorf("allNumbers: got %v", nums)
+	}
+}
+
+func TestAccuracyHelpers(t *testing.T) {
+	a := Accuracy{}
+	if a.Frac() != 1.0 {
+		t.Error("empty accuracy must be 1.0")
+	}
+	a.Add(Accuracy{Correct: 1, Total: 2})
+	a.Add(Accuracy{Correct: 1, Total: 2})
+	if a.Frac() != 0.5 {
+		t.Errorf("Frac: got %f", a.Frac())
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	is := Issue{Kind: "wrong_value", Detail: "x"}
+	if is.String() != "wrong_value: x" {
+		t.Errorf("Issue.String: %q", is.String())
+	}
+}

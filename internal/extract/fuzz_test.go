@@ -1,0 +1,57 @@
+package extract
+
+import "testing"
+
+// FuzzParseSpecSheet checks the spec-sheet parser never panics and that
+// extraction from a rendered sheet is stable.
+func FuzzParseSpecSheet(f *testing.F) {
+	f.Add(CiscoSpecSheetText)
+	f.Add("Model Name: X\nPorts: 1x\n")
+	f.Add("no colon lines\n\n\n")
+	f.Add(": empty key\nkey:\n")
+	f.Add("Memory: 16 GB\nMemory: 32 GB\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fields, err := ParseSpecSheet(src)
+		if err != nil {
+			return
+		}
+		h, err := HardwareFromSpec(fields)
+		if err != nil {
+			return
+		}
+		// Re-render and re-extract: the second pass must score 100%
+		// against the first (rendering is canonical).
+		llm := NewSimulatedLLM(1)
+		h2, err := llm.ExtractHardware(RenderSpecSheet(&h))
+		if err != nil {
+			t.Fatalf("re-extraction failed: %v", err)
+		}
+		// Attrs differ (render uses canonical fields); compare the
+		// semantic fields only.
+		if h2.Name != h.Name || h2.Kind != h.Kind {
+			t.Fatalf("identity changed: %s/%s -> %s/%s", h.Name, h.Kind, h2.Name, h2.Kind)
+		}
+		for r, v := range h.Quant {
+			if h2.Q(r) != v {
+				t.Fatalf("quant %s changed: %d -> %d", r, v, h2.Q(r))
+			}
+		}
+	})
+}
+
+// FuzzFirstNumber checks numeric parsing never panics and respects comma
+// grouping.
+func FuzzFirstNumber(f *testing.F) {
+	f.Add("64,000 entries")
+	f.Add("1,2,3")
+	f.Add(",,,")
+	f.Add("950W max")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		v, ok := firstNumber(src)
+		if ok && v < 0 {
+			t.Fatalf("negative parse from %q", src)
+		}
+		_ = allNumbers(src)
+	})
+}

@@ -1,0 +1,305 @@
+package intlin
+
+import (
+	"math/rand"
+	"testing"
+
+	"netarch/internal/sat"
+)
+
+// pin asserts a = v and returns whether the solver stayed consistent.
+func pin(b *Builder, a Int, v int64) {
+	b.Assert(b.EqConst(a, v))
+}
+
+func TestConstRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 7, 8, 100, 1023, 1024} {
+		s := sat.NewSolver()
+		b := New(s)
+		c := b.Const(v)
+		if c.Max() != v {
+			t.Errorf("Const(%d).Max: got %d", v, c.Max())
+		}
+		if s.Solve() != sat.Sat {
+			t.Fatal("want SAT")
+		}
+		if got := ValueOf(c, s.Model()); got != v {
+			t.Errorf("Const(%d): model value %d", v, got)
+		}
+	}
+}
+
+func TestVarRange(t *testing.T) {
+	for _, max := range []int64{0, 1, 5, 8, 100} {
+		s := sat.NewSolver()
+		b := New(s)
+		a := b.Var(max)
+		// Every value in [0, max] must be attainable…
+		for v := int64(0); v <= max; v++ {
+			if s.SolveAssuming([]sat.Lit{b.EqConst(a, v)}) != sat.Sat {
+				t.Fatalf("max=%d: value %d unreachable", max, v)
+			}
+			if got := ValueOf(a, s.Model()); got != v {
+				t.Fatalf("max=%d: pinned %d, read %d", max, v, got)
+			}
+		}
+		// …and max+1 must not be.
+		if s.SolveAssuming([]sat.Lit{b.GeqConst(a, max+1)}) != sat.Unsat {
+			t.Fatalf("max=%d: value above bound reachable", max)
+		}
+	}
+}
+
+func TestAddExhaustive(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(7)
+	y := b.Var(5)
+	z := b.Add(x, y)
+	if z.Max() != 12 {
+		t.Fatalf("Add max: got %d, want 12", z.Max())
+	}
+	for xv := int64(0); xv <= 7; xv++ {
+		for yv := int64(0); yv <= 5; yv++ {
+			st := s.SolveAssuming([]sat.Lit{b.EqConst(x, xv), b.EqConst(y, yv)})
+			if st != sat.Sat {
+				t.Fatalf("x=%d y=%d: %v", xv, yv, st)
+			}
+			if got := ValueOf(z, s.Model()); got != xv+yv {
+				t.Fatalf("x=%d y=%d: z=%d", xv, yv, got)
+			}
+		}
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(9)
+	for _, c := range []int64{0, 1, 2, 3, 5, 10} {
+		y := b.MulConst(x, c)
+		for xv := int64(0); xv <= 9; xv += 3 {
+			if s.SolveAssuming([]sat.Lit{b.EqConst(x, xv)}) != sat.Sat {
+				t.Fatalf("pin x=%d failed", xv)
+			}
+			if got := ValueOf(y, s.Model()); got != c*xv {
+				t.Fatalf("c=%d x=%d: got %d, want %d", c, xv, got, c*xv)
+			}
+		}
+	}
+}
+
+func TestSumBalanced(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	var terms []Int
+	var want int64
+	for i := int64(1); i <= 9; i++ {
+		terms = append(terms, b.Const(i))
+		want += i
+	}
+	total := b.Sum(terms...)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want SAT")
+	}
+	if got := ValueOf(total, s.Model()); got != want {
+		t.Fatalf("Sum: got %d, want %d", got, want)
+	}
+	empty := b.Sum()
+	if got := ValueOf(empty, s.Model()); got != 0 {
+		t.Fatalf("empty Sum: got %d", got)
+	}
+}
+
+func TestScaledBool(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	g := sat.Lit(s.NewVar())
+	cost := b.ScaledBool(g, 12)
+	s.AddClause(g)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want SAT")
+	}
+	if got := ValueOf(cost, s.Model()); got != 12 {
+		t.Fatalf("ScaledBool true: got %d, want 12", got)
+	}
+
+	s2 := sat.NewSolver()
+	b2 := New(s2)
+	g2 := sat.Lit(s2.NewVar())
+	cost2 := b2.ScaledBool(g2, 12)
+	s2.AddClause(g2.Flip())
+	if s2.Solve() != sat.Sat {
+		t.Fatal("want SAT")
+	}
+	if got := ValueOf(cost2, s2.Model()); got != 0 {
+		t.Fatalf("ScaledBool false: got %d, want 0", got)
+	}
+}
+
+func TestComparisonConstReified(t *testing.T) {
+	// For every (value, bound) pair, both the positive and negative
+	// phases of the reified comparison must be consistent.
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(10)
+	for k := int64(-1); k <= 11; k++ {
+		leq := b.LeqConst(x, k)
+		geq := b.GeqConst(x, k)
+		eq := b.EqConst(x, k)
+		for v := int64(0); v <= 10; v++ {
+			st := s.SolveAssuming([]sat.Lit{b.EqConst(x, v)})
+			if st != sat.Sat {
+				t.Fatalf("pin x=%d failed", v)
+			}
+			m := s.Model()
+			litVal := func(l sat.Lit) bool { return m[l.Var()-1] != l.Neg() }
+			if litVal(leq) != (v <= k) {
+				t.Fatalf("x=%d k=%d: leq=%v", v, k, litVal(leq))
+			}
+			if litVal(geq) != (v >= k) {
+				t.Fatalf("x=%d k=%d: geq=%v", v, k, litVal(geq))
+			}
+			if litVal(eq) != (v == k) {
+				t.Fatalf("x=%d k=%d: eq=%v", v, k, litVal(eq))
+			}
+		}
+	}
+}
+
+func TestComparisonTwoVars(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(6)
+	y := b.Var(9)
+	leq := b.Leq(x, y)
+	lt := b.Lt(x, y)
+	eq := b.Eq(x, y)
+	for xv := int64(0); xv <= 6; xv++ {
+		for yv := int64(0); yv <= 9; yv++ {
+			st := s.SolveAssuming([]sat.Lit{b.EqConst(x, xv), b.EqConst(y, yv)})
+			if st != sat.Sat {
+				t.Fatalf("pin failed")
+			}
+			m := s.Model()
+			litVal := func(l sat.Lit) bool { return m[l.Var()-1] != l.Neg() }
+			if litVal(leq) != (xv <= yv) {
+				t.Fatalf("x=%d y=%d: leq=%v", xv, yv, litVal(leq))
+			}
+			if litVal(lt) != (xv < yv) {
+				t.Fatalf("x=%d y=%d: lt=%v", xv, yv, litVal(lt))
+			}
+			if litVal(eq) != (xv == yv) {
+				t.Fatalf("x=%d y=%d: eq=%v", xv, yv, litVal(eq))
+			}
+		}
+	}
+}
+
+func TestBudgetScenario(t *testing.T) {
+	// The reasoning engine's use case: sum of conditional costs must fit
+	// a budget. 3 optional systems costing 4, 7, 10; budget 12.
+	s := sat.NewSolver()
+	b := New(s)
+	g1, g2, g3 := sat.Lit(s.NewVar()), sat.Lit(s.NewVar()), sat.Lit(s.NewVar())
+	total := b.Sum(b.ScaledBool(g1, 4), b.ScaledBool(g2, 7), b.ScaledBool(g3, 10))
+	b.Assert(b.LeqConst(total, 12))
+
+	// g1+g2 (11) fits; g2+g3 (17) must not.
+	if s.SolveAssuming([]sat.Lit{g1, g2}) != sat.Sat {
+		t.Error("4+7 ≤ 12 must be SAT")
+	}
+	if s.SolveAssuming([]sat.Lit{g2, g3}) != sat.Unsat {
+		t.Error("7+10 ≤ 12 must be UNSAT")
+	}
+	if s.SolveAssuming([]sat.Lit{g1, g2, g3}) != sat.Unsat {
+		t.Error("all three must be UNSAT")
+	}
+}
+
+func TestRandomLinearExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		s := sat.NewSolver()
+		b := New(s)
+		n := 2 + r.Intn(4)
+		vars := make([]Int, n)
+		vals := make([]int64, n)
+		coefs := make([]int64, n)
+		terms := make([]Int, n)
+		var want int64
+		var assumps []sat.Lit
+		for i := 0; i < n; i++ {
+			max := int64(1 + r.Intn(30))
+			vars[i] = b.Var(max)
+			vals[i] = int64(r.Intn(int(max + 1)))
+			coefs[i] = int64(r.Intn(6))
+			terms[i] = b.MulConst(vars[i], coefs[i])
+			want += coefs[i] * vals[i]
+			assumps = append(assumps, b.EqConst(vars[i], vals[i]))
+		}
+		total := b.Sum(terms...)
+		if s.SolveAssuming(assumps) != sat.Sat {
+			t.Fatalf("trial %d: pinning failed", trial)
+		}
+		if got := ValueOf(total, s.Model()); got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestFromBitsAndBoolAsInt(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	l1, l2 := sat.Lit(s.NewVar()), sat.Lit(s.NewVar())
+	x := b.FromBits([]sat.Lit{l1, l2})
+	if x.Max() != 3 || x.Width() != 2 {
+		t.Fatalf("FromBits: max=%d width=%d", x.Max(), x.Width())
+	}
+	s.AddClause(l1)
+	s.AddClause(l2.Flip())
+	if s.Solve() != sat.Sat {
+		t.Fatal("want SAT")
+	}
+	if got := ValueOf(x, s.Model()); got != 1 {
+		t.Fatalf("FromBits value: got %d, want 1", got)
+	}
+	o := b.BoolAsInt(l1)
+	if got := ValueOf(o, s.Model()); got != 1 {
+		t.Fatalf("BoolAsInt: got %d, want 1", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	for name, fn := range map[string]func(){
+		"negative const": func() { b.Const(-1) },
+		"negative var":   func() { b.Var(-1) },
+		"negative mul":   func() { b.MulConst(b.Const(1), -2) },
+		"negative scale": func() { b.ScaledBool(b.True(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssertImplies(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(10)
+	guard := sat.Lit(s.NewVar())
+	b.AssertImplies(guard, b.LeqConst(x, 3))
+	if s.SolveAssuming([]sat.Lit{guard, b.EqConst(x, 7)}) != sat.Unsat {
+		t.Error("guard must force x ≤ 3")
+	}
+	if s.SolveAssuming([]sat.Lit{guard.Flip(), b.EqConst(x, 7)}) != sat.Sat {
+		t.Error("without guard x=7 must be allowed")
+	}
+}

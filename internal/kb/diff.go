@@ -1,0 +1,146 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffEntry is one difference between two knowledge bases.
+type DiffEntry struct {
+	// Section is "system", "hardware", "workload", "rule" or "order".
+	Section string
+	// Name identifies the entry within the section.
+	Name string
+	// Change is "added", "removed" or "changed".
+	Change string
+}
+
+// String renders the entry.
+func (d DiffEntry) String() string {
+	return fmt.Sprintf("%s %s %q", d.Change, d.Section, d.Name)
+}
+
+// Diff compares two knowledge bases entry by entry — the review step of
+// the crowd-sourcing workflow (§3.3): a maintainer diffing a contributed
+// compendium against the current one sees exactly which encodings were
+// added, removed, or modified. Entries are compared by their canonical
+// JSON serialization, so field order and map iteration order don't
+// produce phantom changes.
+func Diff(old, new *KB) []DiffEntry {
+	var out []DiffEntry
+
+	out = append(out, diffSection("system",
+		namesOf(len(old.Systems), func(i int) string { return old.Systems[i].Name }),
+		namesOf(len(new.Systems), func(i int) string { return new.Systems[i].Name }),
+		func(name string) (any, any) {
+			return old.SystemByName(name), new.SystemByName(name)
+		})...)
+
+	out = append(out, diffSection("hardware",
+		namesOf(len(old.Hardware), func(i int) string { return old.Hardware[i].Name }),
+		namesOf(len(new.Hardware), func(i int) string { return new.Hardware[i].Name }),
+		func(name string) (any, any) {
+			return old.HardwareByName(name), new.HardwareByName(name)
+		})...)
+
+	out = append(out, diffSection("workload",
+		namesOf(len(old.Workloads), func(i int) string { return old.Workloads[i].Name }),
+		namesOf(len(new.Workloads), func(i int) string { return new.Workloads[i].Name }),
+		func(name string) (any, any) {
+			return old.WorkloadByName(name), new.WorkloadByName(name)
+		})...)
+
+	ruleByName := func(k *KB, name string) any {
+		for i := range k.Rules {
+			if k.Rules[i].Name == name {
+				return &k.Rules[i]
+			}
+		}
+		return (*Rule)(nil)
+	}
+	out = append(out, diffSection("rule",
+		namesOf(len(old.Rules), func(i int) string { return old.Rules[i].Name }),
+		namesOf(len(new.Rules), func(i int) string { return new.Rules[i].Name }),
+		func(name string) (any, any) {
+			return ruleByName(old, name), ruleByName(new, name)
+		})...)
+
+	out = append(out, diffSection("order",
+		namesOf(len(old.Orders), func(i int) string { return old.Orders[i].Dimension }),
+		namesOf(len(new.Orders), func(i int) string { return new.Orders[i].Dimension }),
+		func(name string) (any, any) {
+			return old.OrderByDimension(name), new.OrderByDimension(name)
+		})...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Section != b.Section {
+			return a.Section < b.Section
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Change < b.Change
+	})
+	return out
+}
+
+func namesOf(n int, get func(int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = get(i)
+	}
+	return out
+}
+
+func diffSection(section string, oldNames, newNames []string,
+	lookup func(name string) (any, any)) []DiffEntry {
+	oldSet := map[string]bool{}
+	for _, n := range oldNames {
+		oldSet[n] = true
+	}
+	newSet := map[string]bool{}
+	for _, n := range newNames {
+		newSet[n] = true
+	}
+	var out []DiffEntry
+	for _, n := range oldNames {
+		if !newSet[n] {
+			out = append(out, DiffEntry{section, n, "removed"})
+		}
+	}
+	for _, n := range newNames {
+		if !oldSet[n] {
+			out = append(out, DiffEntry{section, n, "added"})
+			continue
+		}
+		a, b := lookup(n)
+		if canonicalJSON(a) != canonicalJSON(b) {
+			out = append(out, DiffEntry{section, n, "changed"})
+		}
+	}
+	return out
+}
+
+func canonicalJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("!err:%v", err)
+	}
+	return string(data)
+}
+
+// FormatDiff renders a diff as a human-readable summary.
+func FormatDiff(entries []DiffEntry) string {
+	if len(entries) == 0 {
+		return "no differences\n"
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	fmt.Fprintf(&b, "%d difference(s)\n", len(entries))
+	return b.String()
+}

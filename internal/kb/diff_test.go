@@ -1,0 +1,73 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := tinyKB(), tinyKB()
+	if d := Diff(a, b); len(d) != 0 {
+		t.Errorf("identical KBs must diff empty, got %v", d)
+	}
+	if FormatDiff(nil) != "no differences\n" {
+		t.Error("empty diff rendering wrong")
+	}
+}
+
+func TestDiffDetectsChanges(t *testing.T) {
+	a, b := tinyKB(), tinyKB()
+	// Added system.
+	b.Systems = append(b.Systems, System{Name: "newsys", Role: RoleMonitoring})
+	// Removed hardware.
+	b.Hardware = b.Hardware[1:]
+	// Changed workload.
+	b.Workloads[0].PeakCores = 9999
+	// Changed rule.
+	b.Rules[0].Note = "edited"
+	// Added order.
+	b.Orders = append(b.Orders, OrderSpec{Dimension: "newdim"})
+
+	d := Diff(a, b)
+	want := map[string]bool{
+		`added system "newsys"`:            false,
+		`removed hardware "nic-ts100"`:     false,
+		`changed workload "inference_app"`: false,
+		`changed rule "pfc_no_flooding"`:   false,
+		`added order "newdim"`:             false,
+	}
+	for _, e := range d {
+		if _, ok := want[e.String()]; ok {
+			want[e.String()] = true
+		} else {
+			t.Errorf("unexpected diff entry: %s", e)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing diff entry: %s", k)
+		}
+	}
+	out := FormatDiff(d)
+	if !strings.Contains(out, "5 difference(s)") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}
+
+func TestDiffFieldLevelChange(t *testing.T) {
+	a, b := tinyKB(), tinyKB()
+	b.Systems[0].CoresPerKFlows++
+	d := Diff(a, b)
+	if len(d) != 1 || d[0].Change != "changed" || d[0].Name != "simon" {
+		t.Errorf("field change not detected: %v", d)
+	}
+}
+
+func TestDiffOrderEdgeChange(t *testing.T) {
+	a, b := tinyKB(), tinyKB()
+	b.Orders[0].Edges[0].Note = "different provenance"
+	d := Diff(a, b)
+	if len(d) != 1 || d[0].Section != "order" || d[0].Change != "changed" {
+		t.Errorf("order change not detected: %v", d)
+	}
+}

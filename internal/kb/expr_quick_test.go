@@ -1,0 +1,140 @@
+package kb
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netarch/internal/logic"
+)
+
+// randExpr builds a random well-formed expression over nAtoms ctx atoms.
+func randExpr(r *rand.Rand, nAtoms, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return TrueExpr()
+		case 1:
+			return FalseExpr()
+		default:
+			return CtxAtom(atomName(r.Intn(nAtoms)))
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Not(randExpr(r, nAtoms, depth-1))
+	case 1:
+		return Implies(randExpr(r, nAtoms, depth-1), randExpr(r, nAtoms, depth-1))
+	case 2:
+		return Iff(randExpr(r, nAtoms, depth-1), randExpr(r, nAtoms, depth-1))
+	case 3:
+		n := 2 + r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randExpr(r, nAtoms, depth-1)
+		}
+		return And(args...)
+	default:
+		n := 2 + r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randExpr(r, nAtoms, depth-1)
+		}
+		return Or(args...)
+	}
+}
+
+func atomName(i int) string { return string(rune('a' + i)) }
+
+// evalDirect evaluates an Expr against a ctx assignment without going
+// through the logic package — an independent reference semantics.
+func evalDirect(e Expr, ctx map[string]bool) bool {
+	switch e.Op {
+	case "atom":
+		return ctx[e.Atom]
+	case "true":
+		return true
+	case "false":
+		return false
+	case "not":
+		return !evalDirect(e.Args[0], ctx)
+	case "and":
+		for _, a := range e.Args {
+			if !evalDirect(a, ctx) {
+				return false
+			}
+		}
+		return true
+	case "or":
+		for _, a := range e.Args {
+			if evalDirect(a, ctx) {
+				return true
+			}
+		}
+		return false
+	case "implies":
+		return !evalDirect(e.Args[0], ctx) || evalDirect(e.Args[1], ctx)
+	case "iff":
+		return evalDirect(e.Args[0], ctx) == evalDirect(e.Args[1], ctx)
+	}
+	panic("bad op " + e.Op)
+}
+
+func TestQuickExprCompileMatchesDirectEval(t *testing.T) {
+	const nAtoms = 4
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, nAtoms, 4)
+		vo := logic.NewVocabulary()
+		f, err := e.Compile(vo.Get)
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<nAtoms; mask++ {
+			ctx := map[string]bool{}
+			assign := map[logic.Var]bool{}
+			for i := 0; i < nAtoms; i++ {
+				v := mask&(1<<i) != 0
+				ctx["ctx:"+atomName(i)] = v
+				assign[vo.Get("ctx:"+atomName(i))] = v
+			}
+			if f.Eval(assign) != evalDirect(e, ctx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprJSONRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4, 4)
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		var back Expr
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.String() == e.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprValidateAcceptsGenerated(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return randExpr(r, 4, 5).Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

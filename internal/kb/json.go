@@ -1,0 +1,31 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Load decodes a knowledge base from JSON and validates it.
+func Load(r io.Reader) (*KB, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var k KB
+	if err := dec.Decode(&k); err != nil {
+		return nil, fmt.Errorf("kb: decoding: %w", err)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+// Save encodes the knowledge base as indented JSON.
+func (k *KB) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(k); err != nil {
+		return fmt.Errorf("kb: encoding: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyKB builds a small but representative knowledge base used across the
+// package tests: the SIMON encoding of Listing 2, a dependent stack, and
+// supporting hardware.
+func tinyKB() *KB {
+	return &KB{
+		Systems: []System{
+			{
+				Name:   "simon",
+				Role:   RoleMonitoring,
+				Solves: []Property{"capture_delays", "detect_queue_length"},
+				RequiresCaps: map[HardwareKind][]Capability{
+					KindNIC: {CapNICTimestamps},
+				},
+				CoresPerKFlows: 2,
+				Maturity:       "research",
+				Notes:          map[string]string{"solves": "NSDI'19"},
+			},
+			{
+				Name:     "pingmesh",
+				Role:     RoleMonitoring,
+				Solves:   []Property{"capture_delays"},
+				Maturity: "production",
+			},
+			{
+				Name:            "shenango",
+				Role:            RoleNetworkStack,
+				Solves:          []Property{"low_latency_stack"},
+				RequiresCaps:    map[HardwareKind][]Capability{KindNIC: {CapInterruptPoll}},
+				Resources:       map[Resource]int64{ResCores: 1},
+				RequiresContext: []Condition{{Atom: "deadline_tight", Value: false}},
+				Maturity:        "research",
+			},
+			{
+				Name:           "annulus",
+				Role:           RoleCongestionControl,
+				Solves:         []Property{"congestion_control"},
+				RequiresCaps:   map[HardwareKind][]Capability{KindSwitch: {CapQCN}},
+				UsefulOnlyWhen: []Condition{{Atom: "wan_dc_mix", Value: true}},
+				ConflictsWith:  []string{"cubic"},
+			},
+			{
+				Name:   "cubic",
+				Role:   RoleCongestionControl,
+				Solves: []Property{"congestion_control"},
+			},
+		},
+		Hardware: []Hardware{
+			{
+				Name: "nic-ts100", Kind: KindNIC,
+				Caps:  []Capability{CapNICTimestamps, CapInterruptPoll},
+				Quant: map[Resource]int64{ResBandwidthGbps: 100},
+			},
+			{
+				Name: "switch-qcn", Kind: KindSwitch,
+				Caps:  []Capability{CapQCN, CapECN},
+				Quant: map[Resource]int64{ResPortCount: 32, ResBufferMB: 64},
+			},
+			{
+				Name: "server-std", Kind: KindServer,
+				Quant: map[Resource]int64{ResCores: 64, ResMemoryGB: 256},
+			},
+		},
+		Workloads: []Workload{
+			{
+				Name:              "inference_app",
+				Properties:        []string{"dc_flows", "short_flows", "high_priority"},
+				DeployedAt:        []string{"rack0", "rack1", "rack2"},
+				PeakCores:         2800,
+				PeakBandwidthGbps: 30,
+				KFlows:            40,
+				Needs:             []Property{"congestion_control"},
+			},
+		},
+		Rules: []Rule{
+			{
+				Name: "pfc_no_flooding",
+				Expr: Implies(CtxAtom("pfc_enabled"), Not(CtxAtom("flooding_enabled"))),
+				Note: "RDMA at scale, SIGCOMM'16",
+			},
+		},
+		Orders: []OrderSpec{
+			{
+				Dimension: "monitoring",
+				Edges: []OrderEdge{
+					{Better: "simon", Worse: "pingmesh", Note: "accuracy"},
+				},
+			},
+			{
+				Dimension: "deployment_ease",
+				Edges: []OrderEdge{
+					{Better: "pingmesh", Worse: "simon", Note: "no SmartNIC needed"},
+				},
+			},
+		},
+	}
+}
+
+func TestTinyKBValid(t *testing.T) {
+	if err := tinyKB().Validate(); err != nil {
+		t.Fatalf("tiny KB must validate: %v", err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	k := tinyKB()
+	if k.SystemByName("simon") == nil || k.SystemByName("ghost") != nil {
+		t.Error("SystemByName wrong")
+	}
+	if k.HardwareByName("nic-ts100") == nil || k.HardwareByName("x") != nil {
+		t.Error("HardwareByName wrong")
+	}
+	if k.WorkloadByName("inference_app") == nil || k.WorkloadByName("x") != nil {
+		t.Error("WorkloadByName wrong")
+	}
+	if got := len(k.SystemsByRole(RoleMonitoring)); got != 2 {
+		t.Errorf("SystemsByRole(monitoring): got %d, want 2", got)
+	}
+	if got := len(k.HardwareByKind(KindNIC)); got != 1 {
+		t.Errorf("HardwareByKind(nic): got %d, want 1", got)
+	}
+	if k.OrderByDimension("monitoring") == nil || k.OrderByDimension("x") != nil {
+		t.Error("OrderByDimension wrong")
+	}
+}
+
+func TestHardwareAccessors(t *testing.T) {
+	k := tinyKB()
+	h := k.HardwareByName("nic-ts100")
+	if !h.HasCap(CapNICTimestamps) || h.HasCap(CapP4) {
+		t.Error("HasCap wrong")
+	}
+	if h.Q(ResBandwidthGbps) != 100 || h.Q(ResCores) != 0 {
+		t.Error("Q wrong")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	s := tinyKB().SystemByName("simon")
+	if !s.SolvesProp("capture_delays") || s.SolvesProp("nope") {
+		t.Error("SolvesProp wrong")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*KB)
+		want   string
+	}{
+		{"dup system", func(k *KB) { k.Systems = append(k.Systems, k.Systems[0]) }, "duplicate system"},
+		{"bad role", func(k *KB) { k.Systems[0].Role = "router" }, "unknown role"},
+		{"bad maturity", func(k *KB) { k.Systems[0].Maturity = "beta" }, "maturity"},
+		{"unknown dep", func(k *KB) { k.Systems[0].RequiresSystems = []string{"ghost"} }, "unknown system"},
+		{"self conflict", func(k *KB) { k.Systems[0].ConflictsWith = []string{"simon"} }, "conflicts with itself"},
+		{"unknown conflict", func(k *KB) { k.Systems[0].ConflictsWith = []string{"ghost"} }, "unknown system"},
+		{"empty anyof", func(k *KB) { k.Systems[0].RequiresAnyOf = [][]string{{}} }, "empty any-of"},
+		{"neg resource", func(k *KB) { k.Systems[0].Resources = map[Resource]int64{ResCores: -1} }, "negative resource"},
+		{"dup hardware", func(k *KB) { k.Hardware = append(k.Hardware, k.Hardware[0]) }, "duplicate hardware"},
+		{"bad kind", func(k *KB) { k.Hardware[0].Kind = "gpu" }, "unknown kind"},
+		{"neg quant", func(k *KB) { k.Hardware[0].Quant = map[Resource]int64{ResCores: -2} }, "negative quantity"},
+		{"dup workload", func(k *KB) { k.Workloads = append(k.Workloads, k.Workloads[0]) }, "duplicate workload"},
+		{"neg workload", func(k *KB) { k.Workloads[0].PeakCores = -5 }, "negative quantities"},
+		{"bad rule expr", func(k *KB) { k.Rules[0].Expr = Expr{Op: "xor"} }, "unknown expression op"},
+		{"bad rule atom", func(k *KB) { k.Rules[0].Expr = Atom("system:ghost") }, "unknown system"},
+		{"bad atom ns", func(k *KB) { k.Rules[0].Expr = Atom("planet:mars") }, "unknown namespace"},
+		{"malformed atom", func(k *KB) { k.Rules[0].Expr = Atom("noseparator") }, "malformed atom"},
+		{"self order edge", func(k *KB) { k.Orders[0].Edges[0].Worse = "simon" }, "self edge"},
+		{"dup dimension", func(k *KB) { k.Orders = append(k.Orders, OrderSpec{Dimension: "monitoring"}) }, "duplicate order dimension"},
+		{"bad cap atom", func(k *KB) { k.Rules[0].Expr = Atom("cap:nic") }, "malformed capability atom"},
+		{"bad cap kind", func(k *KB) { k.Rules[0].Expr = Atom("cap:gpu:ECN") }, "unknown kind"},
+	}
+	for _, c := range cases {
+		k := tinyKB()
+		c.mutate(k)
+		err := k.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := tinyKB()
+	b := &KB{
+		Systems: []System{{Name: "sonata", Role: RoleMonitoring}},
+		Orders: []OrderSpec{
+			{Dimension: "monitoring", Edges: []OrderEdge{{Better: "sonata", Worse: "pingmesh"}}},
+			{Dimension: "cost", Edges: []OrderEdge{{Better: "pingmesh", Worse: "sonata"}}},
+		},
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.SystemByName("sonata") == nil {
+		t.Error("merged system missing")
+	}
+	if got := len(a.OrderByDimension("monitoring").Edges); got != 2 {
+		t.Errorf("merged order edges: got %d, want 2", got)
+	}
+	if a.OrderByDimension("cost") == nil {
+		t.Error("new dimension missing after merge")
+	}
+	// Duplicate merge must fail.
+	if err := a.Merge(&KB{Systems: []System{{Name: "simon", Role: RoleMonitoring}}}); err == nil {
+		t.Error("duplicate system merge must fail")
+	}
+	if err := a.Merge(&KB{Hardware: []Hardware{{Name: "nic-ts100", Kind: KindNIC}}}); err == nil {
+		t.Error("duplicate hardware merge must fail")
+	}
+	if err := a.Merge(&KB{Workloads: []Workload{{Name: "inference_app"}}}); err == nil {
+		t.Error("duplicate workload merge must fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	k := tinyKB()
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k2.Systems) != len(k.Systems) || len(k2.Hardware) != len(k.Hardware) {
+		t.Fatal("roundtrip lost entries")
+	}
+	s := k2.SystemByName("simon")
+	if s == nil || !s.SolvesProp("capture_delays") || s.CoresPerKFlows != 2 {
+		t.Error("roundtrip lost system fields")
+	}
+	if k2.Rules[0].Expr.String() != k.Rules[0].Expr.String() {
+		t.Error("roundtrip changed rule expression")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"systems":[{"name":"x","role":"bad"}]}`)); err == nil {
+		t.Error("invalid KB must be rejected at load")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	k := tinyKB()
+	st := k.ComputeStats()
+	if st.Systems != 5 || st.Hardware != 3 || st.Workloads != 1 || st.Rules != 1 {
+		t.Errorf("counts wrong: %+v", st)
+	}
+	if st.OrderEdges != 2 {
+		t.Errorf("order edges: got %d, want 2", st.OrderEdges)
+	}
+	if st.SpecSize <= st.Systems+st.Hardware {
+		t.Errorf("SpecSize implausibly small: %d", st.SpecSize)
+	}
+	// Linearity sanity: doubling disjoint content roughly doubles size.
+	k2 := tinyKB()
+	for i := range k2.Systems {
+		k2.Systems[i].Name += "_2"
+		k2.Systems[i].RequiresSystems = nil
+		k2.Systems[i].ConflictsWith = nil
+	}
+	for i := range k2.Hardware {
+		k2.Hardware[i].Name += "_2"
+	}
+	for i := range k2.Workloads {
+		k2.Workloads[i].Name += "_2"
+	}
+	k2.Orders = nil
+	k2.Rules = nil
+	base := st.SpecSize
+	if err := k.Merge(k2); err != nil {
+		t.Fatal(err)
+	}
+	grown := k.ComputeStats().SpecSize
+	if grown <= base || grown > 2*base {
+		t.Errorf("spec growth not linear-ish: %d -> %d", base, grown)
+	}
+}
+
+func TestAllProperties(t *testing.T) {
+	k := tinyKB()
+	props := k.AllProperties()
+	want := map[Property]bool{
+		"capture_delays": true, "detect_queue_length": true,
+		"low_latency_stack": true, "congestion_control": true,
+	}
+	if len(props) != len(want) {
+		t.Fatalf("AllProperties: got %v", props)
+	}
+	for _, p := range props {
+		if !want[p] {
+			t.Errorf("unexpected property %q", p)
+		}
+	}
+	// sorted
+	for i := 1; i < len(props); i++ {
+		if props[i-1] >= props[i] {
+			t.Error("properties not sorted")
+		}
+	}
+}

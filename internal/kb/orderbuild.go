@@ -1,0 +1,69 @@
+package kb
+
+import (
+	"fmt"
+
+	"netarch/internal/logic"
+	"netarch/internal/order"
+)
+
+// Build compiles the serialized order spec into an order.Graph, resolving
+// guard atoms through the given vocabulary (shared with other compiled
+// artifacts so the same context atoms drive everything).
+func (spec *OrderSpec) Build(vo *logic.Vocabulary) (*order.Graph, error) {
+	g := order.New(spec.Dimension)
+	compileGuard := func(e *Expr) (logic.Formula, error) {
+		if e == nil {
+			return logic.True, nil
+		}
+		return e.Compile(vo.Get)
+	}
+	for _, e := range spec.Edges {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("kb: order %s edge %s>%s: %w", spec.Dimension, e.Better, e.Worse, err)
+		}
+		if err := g.AddEdge(e.Better, e.Worse, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range spec.Equals {
+		f, err := compileGuard(e.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("kb: order %s equal %s=%s: %w", spec.Dimension, e.A, e.B, err)
+		}
+		if err := g.AddEqual(e.A, e.B, f, e.Note); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Resolve compiles the spec and resolves it under the named context
+// atoms (missing atoms are false). Extra nodes can be registered so that
+// items without comparisons still appear (Figure 1 draws all six stacks).
+func (spec *OrderSpec) Resolve(ctx map[string]bool, extraNodes ...string) (*order.Resolved, error) {
+	vo := logic.NewVocabulary()
+	g, err := spec.Build(vo)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range extraNodes {
+		g.AddNode(n)
+	}
+	octx := order.Context{}
+	for name, v := range ctx {
+		octx[vo.Get("ctx:"+name)] = v
+	}
+	return g.Resolve(octx)
+}
+
+// DOT renders the spec as Graphviz in the Figure 1 style.
+func (spec *OrderSpec) DOT(color string) (string, error) {
+	vo := logic.NewVocabulary()
+	g, err := spec.Build(vo)
+	if err != nil {
+		return "", err
+	}
+	return g.DOT(vo, color), nil
+}

@@ -1,0 +1,198 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cnfSatisfiableBrute brute-forces satisfiability of a CNF over its first
+// nOrig variables being projected: it checks whether any assignment over
+// all NumVars satisfies the CNF.
+func cnfSatisfiableBrute(c *CNF) (bool, map[Var]bool) {
+	n := c.NumVars
+	if n > 22 {
+		panic("cnfSatisfiableBrute: too many variables")
+	}
+	assign := make(map[Var]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 1; i <= n; i++ {
+			assign[Var(i)] = mask&(1<<(i-1)) != 0
+		}
+		if c.Eval(assign) {
+			out := make(map[Var]bool, n)
+			for k, v := range assign {
+				out[k] = v
+			}
+			return true, out
+		}
+	}
+	return false, nil
+}
+
+// formulaSatisfiableBrute brute-forces satisfiability of a formula.
+func formulaSatisfiableBrute(f Formula) bool {
+	vars := f.VarSet()
+	assign := make(map[Var]bool, len(vars))
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		for i, v := range vars {
+			assign[v] = mask&(1<<i) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Error("positive literal misbehaves")
+	}
+	n := MkLit(5, true)
+	if n.Var() != 5 || !n.Neg() {
+		t.Error("negative literal misbehaves")
+	}
+	if l.Flip() != n || n.Flip() != l {
+		t.Error("Flip must complement")
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := Clause{1, -2}
+	if got := c.String(); got != "(x1 | !x2)" {
+		t.Errorf("Clause.String: got %q", got)
+	}
+}
+
+func TestTseitinEquisatisfiable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 250; i++ {
+		vo := NewVocabulary()
+		for j := 0; j < 5; j++ {
+			vo.Fresh("") // allocate the 5 base variables
+		}
+		f := randFormula(r, 5, 25)
+		cv := NewConverter(vo)
+		cv.Assert(f)
+		wantSat := formulaSatisfiableBrute(f)
+		gotSat, model := cnfSatisfiableBrute(cv.CNF)
+		if wantSat != gotSat {
+			t.Fatalf("equisatisfiability broken for %v: formula sat=%v cnf sat=%v",
+				f, wantSat, gotSat)
+		}
+		if gotSat {
+			// Soundness: a CNF model restricted to original vars must
+			// satisfy the original formula (Plaisted–Greenbaum keeps
+			// this direction).
+			if !f.Eval(model) {
+				t.Fatalf("CNF model does not satisfy original formula %v", f)
+			}
+		}
+	}
+}
+
+func TestAssertTrueFalse(t *testing.T) {
+	vo := NewVocabulary()
+	cv := NewConverter(vo)
+	cv.Assert(True)
+	if len(cv.CNF.Clauses) != 0 {
+		t.Error("asserting true must add no clauses")
+	}
+	cv.Assert(False)
+	if sat, _ := cnfSatisfiableBrute(cv.CNF); sat {
+		t.Error("asserting false must make the CNF unsatisfiable")
+	}
+}
+
+func TestAssertConjunctionSplits(t *testing.T) {
+	vo := NewVocabulary()
+	a, b := vo.Atom("a"), vo.Atom("b")
+	cv := NewConverter(vo)
+	cv.Assert(And(a, b))
+	// Both conjuncts become unit clauses, no aux variables needed.
+	if len(cv.CNF.Clauses) != 2 {
+		t.Fatalf("got %d clauses, want 2", len(cv.CNF.Clauses))
+	}
+	if cv.CNF.NumVars != 2 {
+		t.Errorf("got %d vars, want 2 (no aux vars)", cv.CNF.NumVars)
+	}
+}
+
+func TestAssertDisjunctionSingleClause(t *testing.T) {
+	vo := NewVocabulary()
+	a, b, c := vo.Atom("a"), vo.Atom("b"), vo.Atom("c")
+	cv := NewConverter(vo)
+	cv.Assert(Or(a, Not(b), c))
+	if len(cv.CNF.Clauses) != 1 {
+		t.Fatalf("flat disjunction should be one clause, got %d", len(cv.CNF.Clauses))
+	}
+}
+
+func TestConverterCacheReuse(t *testing.T) {
+	vo := NewVocabulary()
+	a, b, c := vo.Atom("a"), vo.Atom("b"), vo.Atom("c")
+	sub := And(a, b)
+	cv := NewConverter(vo)
+	cv.Assert(Or(sub, c))
+	n1 := cv.CNF.NumVars
+	cv.Assert(Or(sub, Not(c)))
+	n2 := cv.CNF.NumVars
+	if n2 != n1 {
+		t.Errorf("repeated subformula must reuse its aux var: %d -> %d", n1, n2)
+	}
+}
+
+func TestDirectCNFEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		f := randFormula(r, 4, 14)
+		clauses := DirectCNF(f)
+		g := clausesToFormula(clauses)
+		if !enumEquivalent(t, f, g) {
+			t.Fatalf("DirectCNF not equivalent for %v: got %v", f, g)
+		}
+	}
+}
+
+func clausesToFormula(cs []Clause) Formula {
+	conj := make([]Formula, 0, len(cs))
+	for _, c := range cs {
+		disj := make([]Formula, 0, len(c))
+		for _, l := range c {
+			a := V(l.Var())
+			if l.Neg() {
+				a = Not(a)
+			}
+			disj = append(disj, a)
+		}
+		conj = append(conj, Or(disj...))
+	}
+	return And(conj...)
+}
+
+func TestDirectCNFTautologyDropped(t *testing.T) {
+	x := V(1)
+	cs := DirectCNF(Or(x, Not(x)))
+	if len(cs) != 0 {
+		t.Errorf("tautology should produce no clauses, got %v", cs)
+	}
+}
+
+func TestCNFEvalAndString(t *testing.T) {
+	var c CNF
+	c.AddClause(1, -2)
+	c.AddClause(2)
+	if c.NumVars != 2 {
+		t.Errorf("NumVars: got %d, want 2", c.NumVars)
+	}
+	if !c.Eval(map[Var]bool{1: true, 2: true}) {
+		t.Error("satisfying assignment rejected")
+	}
+	if c.Eval(map[Var]bool{1: false, 2: true}) {
+		t.Error("falsifying assignment accepted")
+	}
+	if got := c.String(); got != "(x1 | !x2) & (x2)" {
+		t.Errorf("String: got %q", got)
+	}
+}

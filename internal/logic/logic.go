@@ -1,0 +1,370 @@
+// Package logic provides a propositional-logic formula representation with
+// named variables, structural simplification, negation normal form, and
+// Tseitin conversion to CNF.
+//
+// The package is the front end of the reasoning shim described in the paper
+// "Lightweight Automated Reasoning for Network Architectures" (HotNets '24):
+// knowledge-base rules are assembled as Formula values and compiled to CNF
+// for the CDCL solver in internal/sat.
+//
+// Formulas are immutable; all combinators return new values. The zero
+// Formula is invalid — use True, False, or the constructors.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the top-level connective of a Formula node.
+type Kind uint8
+
+// Formula node kinds.
+const (
+	KindFalse Kind = iota // the constant ⊥
+	KindTrue              // the constant ⊤
+	KindVar               // a propositional variable
+	KindNot               // ¬f
+	KindAnd               // f1 ∧ … ∧ fn
+	KindOr                // f1 ∨ … ∨ fn
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFalse:
+		return "false"
+	case KindTrue:
+		return "true"
+	case KindVar:
+		return "var"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Var is a propositional variable, identified by an index into a Vocabulary.
+// Variables are 1-based; 0 is reserved as "no variable".
+type Var uint32
+
+// Formula is an immutable propositional formula. Implies, Iff and Ite are
+// provided as derived constructors and are expanded structurally, so the
+// node kinds are limited to the six above.
+type Formula struct {
+	kind Kind
+	v    Var       // valid when kind == KindVar
+	args []Formula // valid when kind is KindNot (len 1), KindAnd, KindOr
+}
+
+// True is the constant ⊤.
+var True = Formula{kind: KindTrue}
+
+// False is the constant ⊥.
+var False = Formula{kind: KindFalse}
+
+// Kind reports the top-level connective.
+func (f Formula) Kind() Kind { return f.kind }
+
+// Variable returns the variable of a KindVar node, or 0 otherwise.
+func (f Formula) Variable() Var {
+	if f.kind == KindVar {
+		return f.v
+	}
+	return 0
+}
+
+// Args returns the immediate subformulas. Callers must not mutate the
+// returned slice.
+func (f Formula) Args() []Formula { return f.args }
+
+// IsConst reports whether f is ⊤ or ⊥.
+func (f Formula) IsConst() bool { return f.kind == KindTrue || f.kind == KindFalse }
+
+// V returns the formula consisting of the single variable v.
+// It panics if v is 0, which is reserved.
+func V(v Var) Formula {
+	if v == 0 {
+		panic("logic: variable 0 is reserved")
+	}
+	return Formula{kind: KindVar, v: v}
+}
+
+// Not returns ¬f, folding constants and double negation.
+func Not(f Formula) Formula {
+	switch f.kind {
+	case KindTrue:
+		return False
+	case KindFalse:
+		return True
+	case KindNot:
+		return f.args[0]
+	}
+	return Formula{kind: KindNot, args: []Formula{f}}
+}
+
+// And returns the conjunction of fs. Nested conjunctions are flattened,
+// ⊤ operands are dropped, and any ⊥ operand collapses the result to ⊥.
+// And() is ⊤.
+func And(fs ...Formula) Formula { return nary(KindAnd, fs) }
+
+// Or returns the disjunction of fs. Nested disjunctions are flattened,
+// ⊥ operands are dropped, and any ⊤ operand collapses the result to ⊤.
+// Or() is ⊥.
+func Or(fs ...Formula) Formula { return nary(KindOr, fs) }
+
+func nary(k Kind, fs []Formula) Formula {
+	unit, zero := True, False
+	if k == KindOr {
+		unit, zero = False, True
+	}
+	args := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch {
+		case f.kind == unit.kind:
+			// drop identity element
+		case f.kind == zero.kind:
+			return zero
+		case f.kind == k:
+			args = append(args, f.args...)
+		default:
+			args = append(args, f)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return unit
+	case 1:
+		return args[0]
+	}
+	return Formula{kind: k, args: args}
+}
+
+// Implies returns a → b, i.e. ¬a ∨ b.
+func Implies(a, b Formula) Formula { return Or(Not(a), b) }
+
+// Iff returns a ↔ b, i.e. (a → b) ∧ (b → a).
+func Iff(a, b Formula) Formula { return And(Implies(a, b), Implies(b, a)) }
+
+// Xor returns a ⊕ b.
+func Xor(a, b Formula) Formula { return Or(And(a, Not(b)), And(Not(a), b)) }
+
+// Ite returns "if c then t else e", i.e. (c → t) ∧ (¬c → e).
+func Ite(c, t, e Formula) Formula { return And(Implies(c, t), Implies(Not(c), e)) }
+
+// Vars appends every variable occurring in f to dst (with duplicates) and
+// returns the extended slice. Use VarSet for the deduplicated set.
+func (f Formula) Vars(dst []Var) []Var {
+	switch f.kind {
+	case KindVar:
+		return append(dst, f.v)
+	case KindNot, KindAnd, KindOr:
+		for _, a := range f.args {
+			dst = a.Vars(dst)
+		}
+	}
+	return dst
+}
+
+// VarSet returns the sorted set of variables occurring in f.
+func (f Formula) VarSet() []Var {
+	all := f.Vars(nil)
+	seen := make(map[Var]bool, len(all))
+	out := all[:0]
+	for _, v := range all {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of nodes in the formula tree.
+func (f Formula) Size() int {
+	n := 1
+	for _, a := range f.args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the formula tree; constants and variables
+// have depth 1.
+func (f Formula) Depth() int {
+	d := 0
+	for _, a := range f.args {
+		if ad := a.Depth(); ad > d {
+			d = ad
+		}
+	}
+	return d + 1
+}
+
+// Eval evaluates f under the given assignment. Variables absent from the
+// map are treated as false.
+func (f Formula) Eval(assign map[Var]bool) bool {
+	switch f.kind {
+	case KindTrue:
+		return true
+	case KindFalse:
+		return false
+	case KindVar:
+		return assign[f.v]
+	case KindNot:
+		return !f.args[0].Eval(assign)
+	case KindAnd:
+		for _, a := range f.args {
+			if !a.Eval(assign) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, a := range f.args {
+			if a.Eval(assign) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("logic: invalid formula kind " + f.kind.String())
+}
+
+// String renders the formula using a vocabulary-free notation (variables
+// print as x<N>). Use Vocabulary.Render for named output.
+func (f Formula) String() string {
+	var b strings.Builder
+	f.write(&b, nil)
+	return b.String()
+}
+
+func (f Formula) write(b *strings.Builder, names func(Var) string) {
+	name := func(v Var) string {
+		if names != nil {
+			if s := names(v); s != "" {
+				return s
+			}
+		}
+		return fmt.Sprintf("x%d", v)
+	}
+	switch f.kind {
+	case KindTrue:
+		b.WriteString("true")
+	case KindFalse:
+		b.WriteString("false")
+	case KindVar:
+		b.WriteString(name(f.v))
+	case KindNot:
+		b.WriteString("!")
+		arg := f.args[0]
+		if arg.kind == KindAnd || arg.kind == KindOr {
+			b.WriteString("(")
+			arg.write(b, names)
+			b.WriteString(")")
+		} else {
+			arg.write(b, names)
+		}
+	case KindAnd, KindOr:
+		op := " & "
+		if f.kind == KindOr {
+			op = " | "
+		}
+		for i, a := range f.args {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			if a.kind == KindAnd || a.kind == KindOr {
+				b.WriteString("(")
+				a.write(b, names)
+				b.WriteString(")")
+			} else {
+				a.write(b, names)
+			}
+		}
+	}
+}
+
+// Equal reports structural equality of two formulas.
+func Equal(a, b Formula) bool {
+	if a.kind != b.kind || a.v != b.v || len(a.args) != len(b.args) {
+		return false
+	}
+	for i := range a.args {
+		if !Equal(a.args[i], b.args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vocabulary allocates variables and remembers their names. It is the
+// bridge between symbolic knowledge-base atoms and solver variables.
+// The zero value is ready to use. Vocabulary is not safe for concurrent use.
+type Vocabulary struct {
+	names  []string       // names[i] is the name of Var(i+1)
+	byName map[string]Var // reverse index
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{byName: make(map[string]Var)}
+}
+
+// Fresh allocates a new variable with the given name (which may be empty
+// for anonymous variables). Names need not be unique, but Lookup returns
+// the first variable registered under a name.
+func (vo *Vocabulary) Fresh(name string) Var {
+	vo.names = append(vo.names, name)
+	v := Var(len(vo.names))
+	if name != "" {
+		if vo.byName == nil {
+			vo.byName = make(map[string]Var)
+		}
+		if _, dup := vo.byName[name]; !dup {
+			vo.byName[name] = v
+		}
+	}
+	return v
+}
+
+// Get returns the variable registered under name, allocating it if needed.
+func (vo *Vocabulary) Get(name string) Var {
+	if v, ok := vo.byName[name]; ok {
+		return v
+	}
+	return vo.Fresh(name)
+}
+
+// Lookup returns the variable registered under name, or 0 if absent.
+func (vo *Vocabulary) Lookup(name string) Var {
+	return vo.byName[name]
+}
+
+// Atom is shorthand for V(vo.Get(name)).
+func (vo *Vocabulary) Atom(name string) Formula { return V(vo.Get(name)) }
+
+// Name returns the name of v, or "" if v is anonymous or out of range.
+func (vo *Vocabulary) Name(v Var) string {
+	if v == 0 || int(v) > len(vo.names) {
+		return ""
+	}
+	return vo.names[v-1]
+}
+
+// Len returns the number of variables allocated so far.
+func (vo *Vocabulary) Len() int { return len(vo.names) }
+
+// Render renders f with variable names from the vocabulary.
+func (vo *Vocabulary) Render(f Formula) string {
+	var b strings.Builder
+	f.write(&b, vo.Name)
+	return b.String()
+}

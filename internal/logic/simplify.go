@@ -1,0 +1,133 @@
+package logic
+
+// Simplify performs structural simplification: constant folding, flattening
+// of nested conjunctions/disjunctions, removal of duplicate operands, and
+// detection of complementary operands (x ∧ ¬x → ⊥, x ∨ ¬x → ⊤). The result
+// is logically equivalent to the input.
+//
+// Simplify is idempotent and runs in O(n log n) over the formula size.
+func Simplify(f Formula) Formula {
+	switch f.kind {
+	case KindTrue, KindFalse, KindVar:
+		return f
+	case KindNot:
+		return Not(Simplify(f.args[0]))
+	case KindAnd, KindOr:
+		args := make([]Formula, 0, len(f.args))
+		for _, a := range f.args {
+			args = append(args, Simplify(a))
+		}
+		g := nary(f.kind, args)
+		if g.kind != KindAnd && g.kind != KindOr {
+			return g
+		}
+		return dedupComplement(g)
+	}
+	panic("logic: invalid formula kind " + f.kind.String())
+}
+
+// dedupComplement removes duplicate operands from an And/Or node and
+// collapses the node if it contains complementary operands.
+func dedupComplement(f Formula) Formula {
+	seen := make(map[string]bool, len(f.args))
+	neg := make(map[string]bool, len(f.args))
+	out := make([]Formula, 0, len(f.args))
+	for _, a := range f.args {
+		key := a.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var nkey string
+		if a.kind == KindNot {
+			nkey = a.args[0].String()
+		} else {
+			nkey = Not(a).String()
+		}
+		if neg[key] || seen[nkey] {
+			if f.kind == KindAnd {
+				return False
+			}
+			return True
+		}
+		neg[nkey] = true
+		out = append(out, a)
+	}
+	return nary(f.kind, out)
+}
+
+// NNF converts f to negation normal form: negations are pushed inward until
+// they apply only to variables. The result is logically equivalent to f and
+// at most twice its size.
+func NNF(f Formula) Formula {
+	switch f.kind {
+	case KindTrue, KindFalse, KindVar:
+		return f
+	case KindNot:
+		return nnfNeg(f.args[0])
+	case KindAnd, KindOr:
+		args := make([]Formula, 0, len(f.args))
+		for _, a := range f.args {
+			args = append(args, NNF(a))
+		}
+		return nary(f.kind, args)
+	}
+	panic("logic: invalid formula kind " + f.kind.String())
+}
+
+// nnfNeg returns the NNF of ¬f.
+func nnfNeg(f Formula) Formula {
+	switch f.kind {
+	case KindTrue:
+		return False
+	case KindFalse:
+		return True
+	case KindVar:
+		return Not(f)
+	case KindNot:
+		return NNF(f.args[0])
+	case KindAnd, KindOr:
+		k := KindOr
+		if f.kind == KindOr {
+			k = KindAnd
+		}
+		args := make([]Formula, 0, len(f.args))
+		for _, a := range f.args {
+			args = append(args, nnfNeg(a))
+		}
+		return nary(k, args)
+	}
+	panic("logic: invalid formula kind " + f.kind.String())
+}
+
+// Substitute replaces variables in f according to subst; variables not in
+// the map are left unchanged. Constants in the map fold immediately.
+func Substitute(f Formula, subst map[Var]Formula) Formula {
+	switch f.kind {
+	case KindTrue, KindFalse:
+		return f
+	case KindVar:
+		if g, ok := subst[f.v]; ok {
+			return g
+		}
+		return f
+	case KindNot:
+		return Not(Substitute(f.args[0], subst))
+	case KindAnd, KindOr:
+		args := make([]Formula, 0, len(f.args))
+		for _, a := range f.args {
+			args = append(args, Substitute(a, subst))
+		}
+		return nary(f.kind, args)
+	}
+	panic("logic: invalid formula kind " + f.kind.String())
+}
+
+// Cofactor returns f with variable v fixed to val, simplified.
+func Cofactor(f Formula, v Var, val bool) Formula {
+	c := False
+	if val {
+		c = True
+	}
+	return Simplify(Substitute(f, map[Var]Formula{v: c}))
+}

@@ -1,0 +1,64 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netarch/internal/logic"
+)
+
+// DOT renders the conditional graph in Graphviz format in the style of the
+// paper's Figure 1: solid arrows point from the better to the worse system,
+// dashed undirected lines mark equivalences, and guard conditions label the
+// edges. vocab translates guard atoms to names; dimensions may color edges
+// via the color parameter (empty means default).
+func (g *Graph) DOT(vocab *logic.Vocabulary, color string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeID(g.dimension))
+	fmt.Fprintf(&b, "  label=%q;\n  rankdir=TB;\n  node [shape=box];\n", g.dimension)
+	nodes := append([]string(nil), g.nodes...)
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	attrs := func(guard logic.Formula, extra string) string {
+		var parts []string
+		if extra != "" {
+			parts = append(parts, extra)
+		}
+		if color != "" {
+			parts = append(parts, fmt.Sprintf("color=%q", color))
+		}
+		if guard.Kind() != logic.KindTrue {
+			label := guard.String()
+			if vocab != nil {
+				label = vocab.Render(guard)
+			}
+			parts = append(parts, fmt.Sprintf("label=%q", label))
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return " [" + strings.Join(parts, ", ") + "]"
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.Better, e.Worse, attrs(e.Guard, ""))
+	}
+	for _, eq := range g.equals {
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", eq.A, eq.B, attrs(eq.Guard, "dir=none, style=dashed"))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeID(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

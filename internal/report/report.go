@@ -1,0 +1,184 @@
+// Package report renders reasoning results as Markdown documents — the
+// artifact an architect files with their design review. A report contains
+// the verdict, the deployed systems with their provenance notes, the
+// selected hardware with the capabilities that drove the selection, the
+// budget figures, and (when infeasible) the minimal conflict with
+// suggested relaxations.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netarch/internal/core"
+	"netarch/internal/kb"
+)
+
+// Options controls report rendering.
+type Options struct {
+	// Title overrides the document heading.
+	Title string
+	// ShowNotes includes each system's provenance notes.
+	ShowNotes bool
+}
+
+// Render produces a Markdown report for a query result against its
+// knowledge base and scenario.
+func Render(k *kb.KB, sc core.Scenario, rep *core.Report, opts Options) string {
+	var b strings.Builder
+	title := opts.Title
+	if title == "" {
+		title = "Network architecture reasoning report"
+	}
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	fmt.Fprintf(&b, "**Verdict:** %s\n\n", rep.Verdict)
+
+	renderScenario(&b, &sc)
+
+	if rep.Verdict == core.Infeasible {
+		b.WriteString("## Conflict\n\n")
+		b.WriteString("The following requirements cannot hold together (minimal set):\n\n")
+		for _, c := range rep.Explanation.Conflicts {
+			fmt.Fprintf(&b, "- `%s`", c.Name)
+			if c.Note != "" {
+				fmt.Fprintf(&b, " — %s", c.Note)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+		return b.String()
+	}
+
+	d := rep.Design
+	b.WriteString("## Systems\n\n")
+	b.WriteString("| system | role | solves |\n|---|---|---|\n")
+	for _, name := range d.Systems {
+		s := k.SystemByName(name)
+		if s == nil {
+			fmt.Fprintf(&b, "| %s | ? | ? |\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", s.Name, s.Role, joinProps(s.Solves))
+	}
+	b.WriteString("\n")
+
+	if opts.ShowNotes {
+		b.WriteString("### Provenance\n\n")
+		for _, name := range d.Systems {
+			s := k.SystemByName(name)
+			if s == nil || len(s.Notes) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(s.Notes))
+			for key := range s.Notes {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				fmt.Fprintf(&b, "- **%s** (%s): %s\n", s.Name, key, s.Notes[key])
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Hardware\n\n")
+	b.WriteString("| kind | SKU | capabilities | unit cost |\n|---|---|---|---|\n")
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		name := d.Hardware[kind]
+		if name == "" {
+			continue
+		}
+		h := k.HardwareByName(name)
+		caps := make([]string, len(h.Caps))
+		for i, c := range h.Caps {
+			caps[i] = string(c)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | $%d |\n", kind, h.Name, strings.Join(caps, ", "), h.CostUSD)
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Budget\n\n")
+	fmt.Fprintf(&b, "- cores: %d used of %d provisioned\n",
+		d.Metrics["cores_used"], d.Metrics["cores_total"])
+	fmt.Fprintf(&b, "- hardware cost: $%d\n\n", d.Metrics["cost_usd"])
+
+	if len(d.Context) > 0 {
+		b.WriteString("## Operating context\n\n")
+		atoms := make([]string, 0, len(d.Context))
+		for a := range d.Context {
+			atoms = append(atoms, a)
+		}
+		sort.Strings(atoms)
+		for _, a := range atoms {
+			fmt.Fprintf(&b, "- `%s` = %v\n", a, d.Context[a])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func renderScenario(b *strings.Builder, sc *core.Scenario) {
+	var lines []string
+	if len(sc.Workloads) > 0 {
+		lines = append(lines, fmt.Sprintf("- workloads: %s", strings.Join(sc.Workloads, ", ")))
+	}
+	if len(sc.Require) > 0 {
+		lines = append(lines, fmt.Sprintf("- required properties: %s", joinProps(sc.Require)))
+	}
+	if len(sc.Context) > 0 {
+		atoms := make([]string, 0, len(sc.Context))
+		for a, v := range sc.Context {
+			atoms = append(atoms, fmt.Sprintf("%s=%v", a, v))
+		}
+		sort.Strings(atoms)
+		lines = append(lines, fmt.Sprintf("- pinned context: %s", strings.Join(atoms, ", ")))
+	}
+	if len(sc.PinnedSystems) > 0 {
+		lines = append(lines, fmt.Sprintf("- pinned systems: %s", strings.Join(sc.PinnedSystems, ", ")))
+	}
+	if len(sc.ForbiddenSystems) > 0 {
+		lines = append(lines, fmt.Sprintf("- forbidden systems: %s", strings.Join(sc.ForbiddenSystems, ", ")))
+	}
+	if sc.MaxCostUSD > 0 {
+		lines = append(lines, fmt.Sprintf("- budget: $%d", sc.MaxCostUSD))
+	}
+	if len(lines) == 0 {
+		return
+	}
+	b.WriteString("## Scenario\n\n")
+	b.WriteString(strings.Join(lines, "\n"))
+	b.WriteString("\n\n")
+}
+
+func joinProps(ps []kb.Property) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = string(p)
+	}
+	return strings.Join(ss, ", ")
+}
+
+// RenderSuggestions appends a relaxation section produced by
+// Engine.Suggest to an infeasibility report.
+func RenderSuggestions(sugs []*core.Suggestion) string {
+	if len(sugs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("## Suggested relaxations\n\n")
+	for i, s := range sugs {
+		fmt.Fprintf(&b, "**Option %d** — relax:\n\n", i+1)
+		for _, c := range s.Drop {
+			fmt.Fprintf(&b, "- `%s`", c.Name)
+			if c.Note != "" {
+				fmt.Fprintf(&b, " — %s", c.Note)
+			}
+			b.WriteString("\n")
+		}
+		if s.Witness != nil {
+			fmt.Fprintf(&b, "\nthen feasible with: %s\n\n", strings.Join(s.Witness.Systems, ", "))
+		}
+	}
+	return b.String()
+}

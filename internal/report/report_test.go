@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"netarch/internal/catalog"
+	"netarch/internal/core"
+	"netarch/internal/kb"
+)
+
+func TestRenderFeasible(t *testing.T) {
+	k := catalog.CaseStudy()
+	eng, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.Scenario{
+		Workloads: []string{"inference_app"},
+		Require:   []kb.Property{"congestion_control"},
+		Context:   map[string]bool{"deadline_tight": true},
+	}
+	rep, err := eng.Synthesize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != core.Feasible {
+		t.Fatalf("scenario infeasible: %v", rep.Explanation)
+	}
+	md := Render(k, sc, rep, Options{ShowNotes: true})
+	for _, want := range []string{
+		"# Network architecture reasoning report",
+		"**Verdict:** FEASIBLE",
+		"## Scenario",
+		"- workloads: inference_app",
+		"- required properties: congestion_control",
+		"deadline_tight=true",
+		"## Systems",
+		"| system | role | solves |",
+		"## Hardware",
+		"| kind | SKU | capabilities | unit cost |",
+		"## Budget",
+		"- cores:",
+		"## Operating context",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every deployed system appears in the table.
+	for _, s := range rep.Design.Systems {
+		if !strings.Contains(md, "| "+s+" |") {
+			t.Errorf("system %s missing from table", s)
+		}
+	}
+}
+
+func TestRenderInfeasibleWithSuggestions(t *testing.T) {
+	k := catalog.CaseStudy()
+	eng, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.Scenario{
+		Context: map[string]bool{"pfc_enabled": true, "flooding_enabled": true},
+	}
+	rep, err := eng.Synthesize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != core.Infeasible {
+		t.Fatal("want infeasible")
+	}
+	md := Render(k, sc, rep, Options{Title: "Custom title"})
+	for _, want := range []string{
+		"# Custom title",
+		"**Verdict:** INFEASIBLE",
+		"## Conflict",
+		"rule:pfc_no_flooding",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q:\n%s", want, md)
+		}
+	}
+
+	sugs, err := eng.Suggest(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := RenderSuggestions(sugs)
+	if !strings.Contains(ext, "## Suggested relaxations") ||
+		!strings.Contains(ext, "**Option 1**") {
+		t.Errorf("suggestions section wrong:\n%s", ext)
+	}
+	if RenderSuggestions(nil) != "" {
+		t.Error("empty suggestions must render empty")
+	}
+}

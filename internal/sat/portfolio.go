@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Interrupt asks the solver to stop: a running Solve returns Unknown at
+// the next conflict boundary, and any Solve started while the interrupt
+// is pending returns Unknown immediately. The flag is sticky — call
+// ClearInterrupt to make the solver runnable again. Interrupt is safe to
+// call from other goroutines and is idempotent.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// ClearInterrupt re-arms a solver that was stopped with Interrupt.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
+
+// interrupted polls and clears nothing — the flag is reset at the start
+// of each Solve.
+func (s *Solver) interrupted() bool { return s.stop.Load() }
+
+// PortfolioResult is the outcome of a portfolio race.
+type PortfolioResult struct {
+	Status Status
+	// Winner is the index of the configuration that finished first
+	// (-1 when the context was cancelled before any verdict).
+	Winner int
+	// Model holds the winner's satisfying assignment when Status is Sat.
+	Model []bool
+}
+
+// SolvePortfolio races one solver per option set over the same clauses
+// and returns the first definitive verdict, cancelling the rest. The
+// clauses are loaded into each solver independently (solvers are not
+// safe for concurrent sharing). A cancelled context yields Unknown.
+//
+// Portfolio solving is the standard answer to heavy-tailed SAT runtimes:
+// different heuristics win on different instances, and the race takes the
+// minimum.
+func SolvePortfolio(ctx context.Context, clauses [][]Lit, nVars int, configs []Options) PortfolioResult {
+	if len(configs) == 0 {
+		configs = []Options{{}, {NoRestarts: true}, {NoPhaseSaving: true}}
+	}
+	type outcome struct {
+		idx    int
+		status Status
+		model  []bool
+	}
+	results := make(chan outcome, len(configs))
+	solvers := make([]*Solver, len(configs))
+	var wg sync.WaitGroup
+	for i, opts := range configs {
+		s := NewSolverOpts(opts)
+		s.EnsureVars(nVars)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		solvers[i] = s
+		wg.Add(1)
+		go func(i int, s *Solver) {
+			defer wg.Done()
+			st := s.Solve()
+			var model []bool
+			if st == Sat {
+				model = append([]bool(nil), s.Model()...)
+			}
+			results <- outcome{i, st, model}
+		}(i, s)
+	}
+	stopAll := func() {
+		for _, s := range solvers {
+			s.Interrupt()
+		}
+	}
+	defer func() {
+		stopAll()
+		wg.Wait()
+	}()
+
+	pending := len(configs)
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return PortfolioResult{Status: Unknown, Winner: -1}
+		case out := <-results:
+			pending--
+			if out.status == Sat || out.status == Unsat {
+				return PortfolioResult{Status: out.status, Winner: out.idx, Model: out.model}
+			}
+		}
+	}
+	return PortfolioResult{Status: Unknown, Winner: -1}
+}
+
+// stopFlag is a tiny wrapper so the Solver zero-value works.
+type stopFlag struct{ v atomic.Bool }
+
+func (f *stopFlag) Store(b bool) { f.v.Store(b) }
+func (f *stopFlag) Load() bool   { return f.v.Load() }

@@ -1,0 +1,62 @@
+package sat
+
+// propagate performs unit propagation over all enqueued literals using
+// two-watched literals. It returns the conflicting clause, or nil if the
+// queue drained without conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true; visit watchers of p (stored under p)
+		s.qhead++
+		s.stats.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue // lazily drop deleted clauses
+			}
+			// Fast path: blocker already true.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is at position 1.
+			falseLit := p.flip()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].flip()] = append(s.watches[c.lits[1].flip()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watcher moved elsewhere
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				// Conflict: keep remaining watchers, restore list.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}

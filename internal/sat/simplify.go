@@ -1,0 +1,168 @@
+package sat
+
+// Simplify performs top-level (decision level 0) inprocessing on the
+// problem clauses:
+//
+//   - removes clauses satisfied by root-level assignments,
+//   - strengthens clauses by deleting root-falsified literals,
+//   - removes subsumed clauses (a clause implied by a subset clause), and
+//   - applies self-subsuming resolution (if C ∨ x subsumes D except for
+//     ¬x in D, drop ¬x from D).
+//
+// Simplify preserves satisfiability and all models over the original
+// variables; it may only be called at decision level 0. It returns the
+// number of clauses removed plus literals deleted.
+func (s *Solver) Simplify() int {
+	if s.decisionLevel() != 0 {
+		panic("sat: Simplify called above decision level 0")
+	}
+	if !s.okay {
+		return 0
+	}
+	removed := 0
+
+	// Pass 1: strengthen against root assignments.
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		satisfied := false
+		kept := c.lits[:0]
+		dropped := 0
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				satisfied = true
+			case lFalse:
+				dropped++
+				continue
+			}
+			kept = append(kept, l)
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			s.detachAll(c)
+			removed++
+			continue
+		}
+		if dropped == 0 {
+			continue
+		}
+		// Rebuild the clause under its new length. Watches may now point
+		// at removed literals; re-adding via AddClause keeps invariants.
+		lits := make([]Lit, len(kept))
+		for i, l := range kept {
+			lits[i] = toExternal(l)
+		}
+		s.detachAll(c)
+		removed += dropped
+		if s.proof != nil {
+			// The strengthened clause is a RUP lemma.
+			s.proof.Steps = append(s.proof.Steps, ProofStep{Clause: lits})
+		}
+		if !s.AddClause(lits...) {
+			return removed
+		}
+	}
+	s.compactClauses()
+
+	// Pass 2: subsumption + self-subsuming resolution, using signature
+	// filtering. Clauses sorted by length so subsumers come first.
+	type entry struct {
+		c   *clause
+		sig uint64
+		set map[lit]bool
+	}
+	var entries []entry
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		var sig uint64
+		set := make(map[lit]bool, len(c.lits))
+		for _, l := range c.lits {
+			sig |= 1 << (uint(l.v()) % 64)
+			set[l] = true
+		}
+		entries = append(entries, entry{c, sig, set})
+	}
+	// Insertion-sort by clause length (small n per bucket in practice).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && len(entries[j].c.lits) < len(entries[j-1].c.lits); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	for i := 0; i < len(entries); i++ {
+		small := entries[i]
+		if small.c.deleted {
+			continue
+		}
+		for j := i + 1; j < len(entries); j++ {
+			big := entries[j]
+			if big.c.deleted || len(big.c.lits) < len(small.c.lits) {
+				continue
+			}
+			if small.sig&^big.sig != 0 {
+				continue // signature says small has a var big lacks
+			}
+			// Count matches and the single complementary literal, if any.
+			missing := 0
+			var flipLit lit
+			flips := 0
+			for l := range small.set {
+				switch {
+				case big.set[l]:
+				case big.set[l.flip()]:
+					flips++
+					flipLit = l.flip()
+				default:
+					missing++
+				}
+			}
+			if missing > 0 {
+				continue
+			}
+			if flips == 0 {
+				// small subsumes big.
+				s.detachAll(big.c)
+				s.logDelete(big.c)
+				removed++
+			} else if flips == 1 && len(big.c.lits) > 2 {
+				// Self-subsuming resolution: drop flipLit from big.
+				lits := make([]Lit, 0, len(big.c.lits)-1)
+				for _, l := range big.c.lits {
+					if l != flipLit {
+						lits = append(lits, toExternal(l))
+					}
+				}
+				s.detachAll(big.c)
+				removed++
+				if s.proof != nil {
+					s.proof.Steps = append(s.proof.Steps, ProofStep{Clause: lits})
+				}
+				if !s.AddClause(lits...) {
+					return removed
+				}
+				// The strengthened clause was appended to s.clauses; it
+				// is not revisited this pass (acceptable: Simplify is
+				// idempotent across calls).
+				big.c.deleted = true
+			}
+		}
+	}
+	s.compactClauses()
+	return removed
+}
+
+// compactClauses drops deleted clauses from the problem-clause list.
+func (s *Solver) compactClauses() {
+	kept := s.clauses[:0]
+	for _, c := range s.clauses {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.clauses = kept
+}

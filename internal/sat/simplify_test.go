@@ -1,0 +1,129 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifySubsumption(t *testing.T) {
+	s := NewSolver()
+	s.EnsureVars(4)
+	s.AddClause(1, 2)
+	s.AddClause(1, 2, 3) // subsumed by (1 2)
+	s.AddClause(1, 2, 4) // subsumed by (1 2)
+	before := s.NumClauses()
+	removed := s.Simplify()
+	if removed < 2 {
+		t.Errorf("expected ≥2 removals, got %d", removed)
+	}
+	if s.NumClauses() >= before {
+		t.Errorf("clause count did not shrink: %d -> %d", before, s.NumClauses())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("instance must stay SAT")
+	}
+}
+
+func TestSimplifySelfSubsumingResolution(t *testing.T) {
+	s := NewSolver()
+	s.EnsureVars(3)
+	s.AddClause(1, 2)     // (x1 ∨ x2)
+	s.AddClause(-1, 2, 3) // resolves to (x2 ∨ x3)? strengthened: drop -1
+	if s.Simplify() == 0 {
+		t.Error("self-subsuming resolution should fire")
+	}
+	// Semantics preserved: x1=F,x2=F must force... check satisfiability
+	// equivalence by brute force.
+	want, _ := bruteForce(3, [][]Lit{{1, 2}, {-1, 2, 3}})
+	got := s.Solve() == Sat
+	if want != got {
+		t.Errorf("satisfiability changed: want %v got %v", want, got)
+	}
+}
+
+func TestSimplifyRootStrengthening(t *testing.T) {
+	s := NewSolver()
+	s.EnsureVars(3)
+	// Clauses first, unit afterwards: AddClause only normalizes against
+	// units known at insertion time, so Simplify has work to do.
+	s.AddClause(1, 2, 3) // strengthens to (x2 ∨ x3)
+	s.AddClause(-1, 2)   // satisfied once x1 is false: removable
+	s.AddClause(-1)      // root unit: x1 false
+	if s.Simplify() == 0 {
+		t.Error("root strengthening should fire")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+	if s.Value(1) {
+		t.Error("x1 must stay false")
+	}
+}
+
+func TestSimplifyPreservesSemanticsFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 150; i++ {
+		nVars := 4 + r.Intn(8)
+		clauses := randomInstance(r, nVars, 2+r.Intn(nVars*4), 1+r.Intn(3)+1)
+		wantSat, _ := bruteForce(nVars, clauses)
+
+		s := NewSolver()
+		s.EnsureVars(nVars)
+		loadClauses(s, clauses)
+		s.Simplify()
+		s.Simplify() // idempotence must not break anything either
+		got := s.Solve()
+		if (got == Sat) != wantSat {
+			t.Fatalf("instance %d: simplify changed satisfiability: got %v want sat=%v\n%v",
+				i, got, wantSat, clauses)
+		}
+		if got == Sat {
+			checkModel(t, s, clauses)
+		}
+	}
+}
+
+func TestSimplifyWithProofStillChecks(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	verified := 0
+	for i := 0; i < 80 && verified < 10; i++ {
+		nVars := 5 + r.Intn(5)
+		clauses := randomInstance(r, nVars, nVars*6, 3)
+		s := NewSolver()
+		p := s.AttachProof()
+		s.EnsureVars(nVars)
+		loadClauses(s, clauses)
+		s.Simplify()
+		if s.Solve() != Unsat {
+			continue
+		}
+		verified++
+		if err := CheckRUP(clauses, p); err != nil {
+			t.Fatalf("instance %d: proof after Simplify rejected: %v", i, err)
+		}
+	}
+	if verified == 0 {
+		t.Skip("no UNSAT draws")
+	}
+}
+
+func TestSimplifyAboveLevelZeroPanics(t *testing.T) {
+	// Simplify during search is a programmer error; simulate by opening
+	// a decision level manually through the public API being misused is
+	// not possible, so call at level 0 and just assert no panic here.
+	s := NewSolver()
+	s.AddClause(1, 2)
+	s.Simplify() // must not panic at level 0
+}
+
+func TestSimplifyOnUnsatInstance(t *testing.T) {
+	s := NewSolver()
+	s.AddClause(1)
+	s.AddClause(-1)
+	if s.Simplify() != 0 {
+		t.Error("Simplify on a dead solver must be a no-op")
+	}
+	if s.Solve() != Unsat {
+		t.Error("want UNSAT")
+	}
+}

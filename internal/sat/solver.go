@@ -1,0 +1,616 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation, VSIDS
+// variable activity with phase saving, first-UIP clause learning with
+// recursive minimization, LBD-guided learnt-clause deletion, Luby restarts,
+// and solving under assumptions with final-conflict (core) extraction.
+//
+// It is the decision procedure underneath the lightweight reasoning shim of
+// the HotNets '24 paper this repository reproduces: the paper's prototype is
+// "a shim layer over SAT solvers", and since Go bindings to Z3/cvc5 are thin
+// and unmaintained, the solver is built from scratch on the standard library.
+//
+// Literals use the DIMACS convention at the API boundary: +v asserts
+// variable v, -v asserts its negation, v ≥ 1.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lit is a DIMACS-style literal: +v or -v for variable v ≥ 1.
+type Lit int32
+
+// Var returns the literal's variable (≥ 1).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l < 0 }
+
+// Flip returns the complementary literal.
+func (l Lit) Flip() Lit { return -l }
+
+// String renders the literal in DIMACS style.
+func (l Lit) String() string { return fmt.Sprintf("%d", int32(l)) }
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the solver stopped before reaching a verdict
+	// (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; see Model.
+	Sat
+	// Unsat means no satisfying assignment exists under the current
+	// clauses and assumptions; see FinalConflict.
+	Unsat
+)
+
+// String returns "SAT", "UNSAT" or "UNKNOWN".
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options configures solver heuristics. The zero value enables the full
+// CDCL feature set; fields exist chiefly for the ablation benchmarks.
+type Options struct {
+	// NoLearning disables clause learning and non-chronological
+	// backjumping; the solver degrades to DPLL with chronological
+	// backtracking. Assumptions are not supported in this mode.
+	NoLearning bool
+	// StaticOrder disables VSIDS: decisions pick the lowest-indexed
+	// unassigned variable instead of the highest-activity one.
+	StaticOrder bool
+	// NoRestarts disables Luby restarts.
+	NoRestarts bool
+	// NoPhaseSaving makes every decision assign false first instead of
+	// the saved phase.
+	NoPhaseSaving bool
+	// MaxConflicts, when > 0, bounds the total number of conflicts
+	// before Solve returns Unknown.
+	MaxConflicts int64
+}
+
+// Stats reports cumulative solver counters.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnts      int64 // clauses learnt (including later deleted)
+	Deleted      int64 // learnt clauses deleted by DB reduction
+	MaxTrail     int   // deepest trail seen
+}
+
+// lit is the internal literal encoding: variable index v (0-based) becomes
+// 2v for the positive literal and 2v+1 for the negative one.
+type lit uint32
+
+func toInternal(l Lit) lit {
+	v := uint32(l.Var() - 1)
+	if l.Neg() {
+		return lit(2*v + 1)
+	}
+	return lit(2 * v)
+}
+
+func toExternal(l lit) Lit {
+	v := Lit(l/2) + 1
+	if l&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+func (l lit) flip() lit  { return l ^ 1 }
+func (l lit) v() uint32  { return uint32(l) / 2 }
+func (l lit) sign() bool { return l&1 == 1 } // true means negative
+
+// lbool is a three-valued assignment: 0 undefined, 1 true, 2 false.
+type lbool uint8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = 2
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// clause is a problem or learnt clause.
+type clause struct {
+	lits     []lit
+	learnt   bool
+	deleted  bool
+	activity float64
+	lbd      int
+}
+
+// watcher pairs a watching clause with a "blocker" literal whose
+// satisfaction lets propagation skip visiting the clause.
+type watcher struct {
+	c       *clause
+	blocker lit
+}
+
+// Solver is an incremental CDCL SAT solver. It is not safe for concurrent
+// use. Create with NewSolver or NewSolverOpts; add variables and clauses,
+// then call Solve or SolveAssuming any number of times, interleaved with
+// further AddClause calls.
+type Solver struct {
+	opts  Options
+	stats Stats
+
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+
+	watches  [][]watcher // indexed by internal lit
+	assigns  []lbool     // indexed by var
+	level    []int32     // decision level per var
+	reason   []*clause   // implying clause per var (nil for decisions)
+	polarity []bool      // saved phase: last assigned sign (true = negative)
+	trail    []lit
+	trailLim []int // trail index at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	claInc float64
+
+	seen      []byte
+	transient []uint32 // vars marked seen by redundant(); cleared per conflict
+	okay      bool     // false once a top-level contradiction is recorded
+	model     []bool
+	conflict  []Lit // final conflict clause (negated assumptions subset)
+
+	assumptions []lit
+
+	// no-learning mode bookkeeping: flipped[d] reports whether the
+	// decision at level d+1 has already been tried both ways.
+	flipped []bool
+
+	maxLearnts   float64
+	learntGrowth float64
+	restartBase  int64
+
+	proof *Proof // non-nil when DRAT logging is attached
+
+	stop stopFlag // set by Interrupt; polled at conflict boundaries
+}
+
+// NewSolver returns a solver with default options.
+func NewSolver() *Solver { return NewSolverOpts(Options{}) }
+
+// NewSolverOpts returns a solver with the given options.
+func NewSolverOpts(opts Options) *Solver {
+	s := &Solver{
+		opts:         opts,
+		varInc:       1.0,
+		claInc:       1.0,
+		okay:         true,
+		maxLearnts:   0, // set on first Solve relative to clause count
+		learntGrowth: 1.1,
+		restartBase:  100,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of live learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Stats returns a copy of the cumulative solver statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NewVar allocates a fresh variable and returns its index (≥ 1).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.order.insert(s.nVars - 1)
+	return s.nVars
+}
+
+// EnsureVars allocates variables until NumVars ≥ n.
+func (s *Solver) EnsureVars(n int) {
+	for s.nVars < n {
+		s.NewVar()
+	}
+}
+
+// ErrVarRange is returned by AddClause when a literal references variable 0
+// or a variable that was never allocated.
+var ErrVarRange = errors.New("sat: literal references unallocated variable")
+
+// AddClause adds a clause over DIMACS-style literals. Variables referenced
+// beyond NumVars are allocated implicitly. The empty clause makes the
+// instance trivially unsatisfiable. AddClause may only be called at
+// decision level 0, i.e. not from within a Solve callback.
+//
+// Returns false if the clause makes the instance unsatisfiable at the top
+// level (the solver remains usable; Solve will report Unsat).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.okay {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called above decision level 0")
+	}
+	// Allocate implicit variables, then normalize.
+	maxVar := 0
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: literal 0 is invalid")
+		}
+		if l.Var() > maxVar {
+			maxVar = l.Var()
+		}
+	}
+	s.EnsureVars(maxVar)
+
+	// Normalize: drop false/duplicate literals, detect satisfied or
+	// tautological clauses.
+	norm := make([]lit, 0, len(lits))
+	seen := make(map[lit]bool, len(lits))
+	shrunk := false
+	for _, ext := range lits {
+		l := toInternal(ext)
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			shrunk = true
+			continue // falsified at level 0: drop
+		}
+		if seen[l.flip()] {
+			return true // tautology
+		}
+		if seen[l] {
+			shrunk = true
+			continue
+		}
+		seen[l] = true
+		norm = append(norm, l)
+	}
+	// Clauses shortened against level-0 units are RUP lemmas; record them
+	// so the proof checker sees the clause the solver actually uses.
+	if shrunk && s.proof != nil {
+		s.logLearnt(norm)
+	}
+	switch len(norm) {
+	case 0:
+		s.okay = false
+		s.logEmpty()
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], nil)
+		if s.propagate() != nil {
+			s.okay = false
+			s.logEmpty()
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+// attach registers the first two literals of c as watched.
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].flip()] = append(s.watches[c.lits[0].flip()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].flip()] = append(s.watches[c.lits[1].flip()], watcher{c, c.lits[0]})
+}
+
+// detachAll lazily detaches a clause by marking it deleted; propagate
+// skips and removes deleted watchers as it encounters them.
+func (s *Solver) detachAll(c *clause) { c.deleted = true }
+
+// value returns the current assignment of an internal literal.
+func (s *Solver) value(l lit) lbool {
+	a := s.assigns[l.v()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.sign() {
+		return a ^ 3 // swaps lTrue and lFalse
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// uncheckedEnqueue records an assignment implied by from (nil = decision
+// or top-level fact).
+func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+	v := l.v()
+	s.assigns[v] = boolToLbool(!l.sign())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.polarity[v] = l.sign()
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+}
+
+// Value returns the model value of variable v after a Sat result.
+// It panics if the last Solve did not return Sat.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	if v < 1 || v > len(s.model) {
+		panic("sat: Value out of range")
+	}
+	return s.model[v-1]
+}
+
+// Model returns the satisfying assignment found by the last Sat solve;
+// index i holds the value of variable i+1. The returned slice is owned by
+// the solver and valid until the next Solve.
+func (s *Solver) Model() []bool { return s.model }
+
+// FinalConflict returns, after an Unsat result from SolveAssuming, a subset
+// of the assumptions whose conjunction is already unsatisfiable (the
+// "final conflict" or assumption core), as the literals that were assumed.
+func (s *Solver) FinalConflict() []Lit { return s.conflict }
+
+// Okay reports whether the instance is still possibly satisfiable at the
+// top level (false once an empty clause was derived).
+func (s *Solver) Okay() bool { return s.okay }
+
+// Solve decides the instance with no assumptions.
+func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
+
+// SolveAssuming decides the instance under the given assumption literals.
+// On Unsat, FinalConflict reports the subset of assumptions used.
+func (s *Solver) SolveAssuming(assumps []Lit) Status {
+	s.model = nil
+	s.conflict = nil
+	if s.interrupted() {
+		// Sticky interrupt (see Interrupt): refuse to start.
+		return Unknown
+	}
+	if !s.okay {
+		return Unsat
+	}
+	if s.opts.NoLearning {
+		if len(assumps) > 0 {
+			panic("sat: assumptions unsupported with NoLearning")
+		}
+		return s.solveDPLL()
+	}
+	s.assumptions = s.assumptions[:0]
+	for _, a := range assumps {
+		if a == 0 {
+			panic("sat: literal 0 is invalid")
+		}
+		s.EnsureVars(a.Var())
+		s.assumptions = append(s.assumptions, toInternal(a))
+	}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 1000 {
+			s.maxLearnts = 1000
+		}
+	}
+	defer s.cancelUntil(0)
+
+	var curRestarts int64
+	for {
+		budget := s.restartBase * luby(2, curRestarts)
+		if s.opts.NoRestarts {
+			budget = -1
+		}
+		st := s.search(budget)
+		if st != Unknown {
+			return st
+		}
+		if s.interrupted() {
+			return Unknown
+		}
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+			return Unknown
+		}
+		curRestarts++
+		s.stats.Restarts++
+	}
+}
+
+// search runs CDCL until a verdict, a conflict budget is exhausted
+// (returns Unknown to trigger a restart), or the global conflict cap hits.
+func (s *Solver) search(conflictBudget int64) Status {
+	var conflicts int64
+	for {
+		if s.interrupted() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				s.logEmpty()
+				return Unsat
+			}
+			learnt, backLevel, lbd := s.analyze(confl)
+			s.cancelUntil(backLevel)
+			s.logLearnt(learnt)
+			s.recordLearnt(learnt, lbd)
+			s.decayActivities()
+			continue
+		}
+		if conflictBudget >= 0 && conflicts >= conflictBudget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+			s.maxLearnts *= s.learntGrowth
+		}
+		// Assumptions become pseudo-decisions at successive levels.
+		next := lit(0)
+		haveNext := false
+		for s.decisionLevel() < len(s.assumptions) {
+			a := s.assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied; open an empty level to keep
+				// decisionLevel aligned with assumption index.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				s.analyzeFinal(a.flip())
+				return Unsat
+			default:
+				next = a
+				haveNext = true
+			}
+			break
+		}
+		if !haveNext {
+			v := s.pickBranchVar()
+			if v < 0 {
+				// All variables assigned: model found.
+				s.extractModel()
+				return Sat
+			}
+			s.stats.Decisions++
+			next = s.decisionLit(v)
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// decisionLit chooses the phase for a decision on variable v.
+func (s *Solver) decisionLit(v int) lit {
+	neg := true // default phase false
+	if !s.opts.NoPhaseSaving {
+		neg = s.polarity[v]
+	}
+	if neg {
+		return lit(2*uint32(v) + 1)
+	}
+	return lit(2 * uint32(v))
+}
+
+// pickBranchVar returns the next unassigned decision variable (0-based),
+// or -1 if all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	if s.opts.StaticOrder {
+		for v := 0; v < s.nVars; v++ {
+			if s.assigns[v] == lUndef {
+				return v
+			}
+		}
+		return -1
+	}
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// extractModel snapshots the current full assignment as the model.
+func (s *Solver) extractModel() {
+	s.model = make([]bool, s.nVars)
+	for v := 0; v < s.nVars; v++ {
+		s.model[v] = s.assigns[v] == lTrue
+	}
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].v()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if !s.opts.StaticOrder {
+			s.order.insert(int(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+// recordLearnt installs a learnt clause and asserts its first literal.
+func (s *Solver) recordLearnt(learnt []lit, lbd int) {
+	s.stats.Learnts++
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: learnt, learnt: true, lbd: lbd, activity: s.claInc}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+// luby computes the Luby restart sequence value for index i with base y.
+func luby(y, i int64) int64 {
+	size, seq := int64(1), int64(0)
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	pow := int64(1)
+	for ; seq > 0; seq-- {
+		pow *= y
+	}
+	return pow
+}

@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Demand is a placement request: a named workload needing Cores cores
+// spread over the given racks (empty means any racks).
+type Demand struct {
+	Name  string
+	Cores int64
+	Racks []string // preferred racks; empty = all
+}
+
+// Assignment maps a workload to the cores it received per rack.
+type Assignment struct {
+	Workload string
+	PerRack  map[string]int64
+}
+
+// Placement is the result of placing demands onto a topology.
+type Placement struct {
+	Assignments []Assignment
+	// FreeCores is the remaining capacity per rack.
+	FreeCores map[string]int64
+}
+
+// Place assigns demands to rack capacity first-fit in rack order,
+// honouring rack preferences. It fails if any demand cannot be satisfied,
+// naming the shortfall — the engine surfaces this as an explanation.
+func (t *Topology) Place(demands []Demand) (*Placement, error) {
+	free := make(map[string]int64, len(t.racks))
+	for _, r := range t.racks {
+		free[r] = t.RackCores(r)
+	}
+	p := &Placement{FreeCores: free}
+	for _, d := range demands {
+		if d.Cores < 0 {
+			return nil, fmt.Errorf("topo: demand %q has negative cores", d.Name)
+		}
+		racks := d.Racks
+		if len(racks) == 0 {
+			racks = t.racks
+		}
+		for _, r := range racks {
+			if _, ok := free[r]; !ok {
+				return nil, fmt.Errorf("topo: demand %q names unknown rack %q", d.Name, r)
+			}
+		}
+		need := d.Cores
+		got := map[string]int64{}
+		for _, r := range racks {
+			if need == 0 {
+				break
+			}
+			take := free[r]
+			if take > need {
+				take = need
+			}
+			if take > 0 {
+				free[r] -= take
+				got[r] = take
+				need -= take
+			}
+		}
+		if need > 0 {
+			var avail int64
+			for _, r := range racks {
+				avail += free[r] + got[r]
+			}
+			// Roll back partial takes so callers can retry.
+			for r, v := range got {
+				free[r] += v
+			}
+			return nil, fmt.Errorf(
+				"topo: demand %q needs %d cores but racks %v offer only %d",
+				d.Name, d.Cores, racks, avail)
+		}
+		p.Assignments = append(p.Assignments, Assignment{Workload: d.Name, PerRack: got})
+	}
+	return p, nil
+}
+
+// TotalFreeCores sums remaining capacity over all racks.
+func (p *Placement) TotalFreeCores() int64 {
+	var total int64
+	for _, v := range p.FreeCores {
+		total += v
+	}
+	return total
+}
+
+// RacksUsed returns the sorted racks a workload landed on.
+func (p *Placement) RacksUsed(workload string) []string {
+	for _, a := range p.Assignments {
+		if a.Workload == workload {
+			out := make([]string, 0, len(a.PerRack))
+			for r := range a.PerRack {
+				out = append(out, r)
+			}
+			sort.Strings(out)
+			return out
+		}
+	}
+	return nil
+}

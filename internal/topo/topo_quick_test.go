@@ -1,0 +1,131 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickUpDownPathsAreValleyFree checks the routing invariant the PFC
+// analysis rests on: every produced path climbs tiers monotonically, then
+// descends monotonically — no valley (down-then-up) anywhere.
+func TestQuickUpDownPathsAreValleyFree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tp *Topology
+		var err error
+		if r.Intn(2) == 0 {
+			tp, err = NewLeafSpine(1+r.Intn(4), 2+r.Intn(4), 1, 8)
+		} else {
+			tp, err = NewFatTree(4, 8)
+		}
+		if err != nil {
+			return false
+		}
+		servers := tp.Servers()
+		src := servers[r.Intn(len(servers))]
+		dst := servers[r.Intn(len(servers))]
+		if src == dst {
+			return true
+		}
+		paths, err := tp.UpDownPaths(src, dst)
+		if err != nil {
+			return false
+		}
+		for _, p := range paths {
+			descending := false
+			for i := 1; i < len(p); i++ {
+				prev, cur := tp.Switch(p[i-1]).Tier, tp.Switch(p[i]).Tier
+				switch {
+				case cur == prev+1: // going up
+					if descending {
+						return false // valley!
+					}
+				case cur == prev-1: // going down
+					descending = true
+				default:
+					return false // non-adjacent tier hop
+				}
+			}
+			// Endpoints must be the right leaves.
+			if p[0] != tp.Server(src).Leaf || p[len(p)-1] != tp.Server(dst).Leaf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPlacementConservation checks that Place neither loses nor
+// invents capacity: granted cores per workload equal its demand, and
+// free+granted equals total.
+func TestQuickPlacementConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp, err := NewLeafSpine(2, 2+r.Intn(4), 1+r.Intn(4), int64(8+r.Intn(64)))
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, rack := range tp.Racks() {
+			total += tp.RackCores(rack)
+		}
+		var demands []Demand
+		var wanted int64
+		for i := 0; i < 1+r.Intn(4); i++ {
+			c := int64(r.Intn(int(total/2) + 1))
+			demands = append(demands, Demand{Name: string(rune('a' + i)), Cores: c})
+			wanted += c
+		}
+		p, err := tp.Place(demands)
+		if err != nil {
+			// Unconstrained demands can be split arbitrarily, so Place
+			// may only fail when aggregate demand exceeds capacity.
+			return wanted > total
+		}
+		var granted int64
+		for _, a := range p.Assignments {
+			var got int64
+			for _, v := range a.PerRack {
+				got += v
+			}
+			// Each workload must receive exactly its demand.
+			for _, d := range demands {
+				if d.Name == a.Workload && got != d.Cores {
+					return false
+				}
+			}
+			granted += got
+		}
+		return granted+p.TotalFreeCores() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFloodingSupersetOfRouting checks a monotonicity property the
+// deadlock experiment relies on: the flooding dependency graph contains
+// every routed dependency, so enabling flooding can only add cycles,
+// never remove them.
+func TestQuickFloodingMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp, err := NewLeafSpine(1+r.Intn(3), 2+r.Intn(3), 1, 8)
+		if err != nil {
+			return false
+		}
+		plain := tp.PFCDeadlockCheck(false)
+		flooded := tp.PFCDeadlockCheck(true)
+		if plain.Deadlock && !flooded.Deadlock {
+			return false // flooding removed a deadlock: impossible
+		}
+		return flooded.Edges >= plain.Edges
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

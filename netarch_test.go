@@ -1,0 +1,74 @@
+package netarch_test
+
+import (
+	"testing"
+
+	"netarch"
+)
+
+// TestPublicAPISurface exercises the exported facade end to end: load the
+// catalog, synthesize, check, optimize, explain — the quickstart flow.
+func TestPublicAPISurface(t *testing.T) {
+	k := netarch.DefaultCatalog()
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := eng.Synthesize(netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != netarch.Feasible {
+		t.Fatalf("catalog scenario must be feasible: %v", rep.Explanation)
+	}
+	if len(rep.Design.Systems) == 0 {
+		t.Fatal("design must deploy systems")
+	}
+
+	// Check the witness back.
+	chk, err := eng.Check(*rep.Design, netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Verdict != netarch.Feasible {
+		t.Fatalf("witness must pass its own check: %v", chk.Explanation)
+	}
+
+	// Optimize.
+	opt, err := eng.Optimize(netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+	}, []netarch.Objective{{Kind: netarch.MinimizeSystems}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Verdict != netarch.Feasible || opt.ObjectiveValues[0] < 1 {
+		t.Fatalf("optimize failed: %+v", opt)
+	}
+
+	// Explain an impossible ask.
+	ex, err := eng.Explain(netarch.Scenario{
+		Context: map[string]bool{"pfc_enabled": true, "flooding_enabled": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex == nil || len(ex.Conflicts) == 0 {
+		t.Fatal("impossible scenario must produce an explanation")
+	}
+}
+
+func TestCaseStudyExport(t *testing.T) {
+	k := netarch.CaseStudy()
+	if k.WorkloadByName("inference_app") == nil {
+		t.Fatal("case study must include the inference workload")
+	}
+	g := netarch.NewGreedy(k)
+	if g == nil {
+		t.Fatal("greedy constructor broken")
+	}
+}
