@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: tier-1 (build + test) plus static
+# analysis and the race detector over every package.
+verify: build vet test race
+
+clean:
+	$(GO) clean ./...

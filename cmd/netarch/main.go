@@ -7,12 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"netarch"
 	"netarch/internal/dsl"
@@ -51,6 +53,15 @@ Common synth/optimize/explain flags:
   -servers N          fleet size (default 48)
   -maxcost N          hardware budget in USD
   -objectives list    (optimize) comma list: cost,cores,systems,order:<dim>
+
+Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
+  -timeout D          wall-clock deadline for the query (e.g. 500ms, 2s)
+  -max-conflicts N    solver conflict budget per phase (0 = unlimited)
+  -max-decisions N    solver decision budget per phase (0 = unlimited)
+
+Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted
+before a verdict. Degraded-but-useful answers (approximate explanations,
+truncated enumerations) exit 0 and are labelled in the output.
 `
 
 func main() {
@@ -92,6 +103,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netarch: %v\n", err)
+		if netarch.IsResourceExhausted(err) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 }
@@ -186,6 +200,22 @@ func scenarioFlags(fs *flag.FlagSet) (get func() (netarch.Scenario, error), obje
 	return get, objectives
 }
 
+// budgetFlags registers the resource-governance flags on fs. Kept
+// separate from scenarioFlags: the scenario describes the question, the
+// budget bounds the effort spent answering it.
+func budgetFlags(fs *flag.FlagSet) (get func() netarch.Budget) {
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the query (0 = none)")
+	maxConflicts := fs.Int64("max-conflicts", 0, "solver conflict budget per phase (0 = unlimited)")
+	maxDecisions := fs.Int64("max-decisions", 0, "solver decision budget per phase (0 = unlimited)")
+	return func() netarch.Budget {
+		return netarch.Budget{
+			Timeout:      *timeout,
+			MaxConflicts: *maxConflicts,
+			MaxDecisions: *maxDecisions,
+		}
+	}
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -202,6 +232,7 @@ func splitList(s string) []string {
 func cmdSolve(args []string, mode string) error {
 	fs := flag.NewFlagSet(mode, flag.ContinueOnError)
 	getScenario, objectives := scenarioFlags(fs)
+	getBudget := budgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +246,8 @@ func cmdSolve(args []string, mode string) error {
 	if err != nil {
 		return err
 	}
+	budget := getBudget()
+	ctx := context.Background()
 	k := netarch.CaseStudy()
 	eng, err := netarch.NewEngine(k)
 	if err != nil {
@@ -222,14 +255,14 @@ func cmdSolve(args []string, mode string) error {
 	}
 	switch mode {
 	case "synth":
-		rep, err := eng.Synthesize(sc)
+		rep, err := eng.SynthesizeCtx(ctx, sc, budget)
 		if err != nil {
 			return err
 		}
 		if asMarkdown {
 			fmt.Print(report.Render(k, sc, rep, report.Options{ShowNotes: true}))
 			if rep.Verdict == netarch.Infeasible {
-				sugs, err := eng.Suggest(sc, 3)
+				sugs, err := eng.SuggestCtx(ctx, sc, 3, budget)
 				if err != nil {
 					return err
 				}
@@ -239,7 +272,7 @@ func cmdSolve(args []string, mode string) error {
 		}
 		printReport(rep)
 	case "explain":
-		ex, err := eng.Explain(sc)
+		ex, err := eng.ExplainCtx(ctx, sc, budget)
 		if err != nil {
 			return err
 		}
@@ -249,8 +282,13 @@ func cmdSolve(args []string, mode string) error {
 			fmt.Print(ex.String())
 		}
 	case "suggest":
-		sugs, err := eng.Suggest(sc, 5)
+		sugs, err := eng.SuggestCtx(ctx, sc, 5, budget)
 		if err != nil {
+			// Partial suggestions on a tripped budget are still worth
+			// printing; the non-zero exit still reports the exhaustion.
+			for i, s := range sugs {
+				fmt.Printf("option %d:\n%s", i+1, s)
+			}
 			return err
 		}
 		if sugs == nil {
@@ -261,7 +299,7 @@ func cmdSolve(args []string, mode string) error {
 			fmt.Printf("option %d:\n%s", i+1, s)
 		}
 	case "disambiguate":
-		d, err := eng.Disambiguate(sc, 16)
+		d, err := eng.DisambiguateCtx(ctx, sc, 16, budget)
 		if err != nil {
 			return err
 		}
@@ -271,7 +309,7 @@ func cmdSolve(args []string, mode string) error {
 		if err != nil {
 			return err
 		}
-		res, err := eng.Optimize(sc, objs)
+		res, err := eng.OptimizeCtx(ctx, sc, objs, budget)
 		if err != nil {
 			return err
 		}
@@ -279,6 +317,9 @@ func cmdSolve(args []string, mode string) error {
 		if res.Verdict == netarch.Feasible {
 			for i, v := range res.ObjectiveValues {
 				fmt.Printf("objective[%d] %s = %d\n", i, objs[i].Kind, v)
+			}
+			if res.Approximate {
+				fmt.Printf("approximate: optimization stopped on %s\n", res.ApproxCause)
 			}
 		}
 	}
@@ -322,6 +363,8 @@ func printReport(rep *netarch.Report) {
 	} else {
 		fmt.Print(rep.Explanation.String())
 	}
+	fmt.Printf("spent:    %d conflicts, %d decisions, %s\n",
+		rep.Spent.Conflicts, rep.Spent.Decisions, rep.Spent.Wall.Round(time.Microsecond))
 }
 
 func cmdCheck(args []string) error {
@@ -331,6 +374,7 @@ func cmdCheck(args []string) error {
 	nicName := fs.String("nic", "", "selected NIC SKU")
 	srvName := fs.String("server", "", "selected server SKU")
 	getScenario, _ := scenarioFlags(fs)
+	getBudget := budgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -355,7 +399,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := eng.Check(d, sc)
+	rep, err := eng.CheckCtx(context.Background(), d, sc, getBudget())
 	if err != nil {
 		return err
 	}

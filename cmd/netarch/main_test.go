@@ -4,6 +4,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 
 	"netarch"
 )
@@ -98,6 +99,39 @@ func TestScenarioFlagsBadContext(t *testing.T) {
 		if _, err := get(); err == nil {
 			t.Errorf("context %q must error", bad)
 		}
+	}
+}
+
+func TestBudgetFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	get := budgetFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "1500ms", "-max-conflicts", "42", "-max-decisions", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	b := get()
+	if b.Timeout != 1500*time.Millisecond || b.MaxConflicts != 42 || b.MaxDecisions != 7 {
+		t.Errorf("budget wrong: %+v", b)
+	}
+
+	// Defaults: the zero budget (unbounded).
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	get2 := budgetFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b := get2(); b != (netarch.Budget{}) {
+		t.Errorf("default budget not zero: %+v", b)
+	}
+}
+
+func TestCmdSolveWithBudgetFlags(t *testing.T) {
+	// A generous budget must not change the verdict, and the report must
+	// account for what was spent.
+	out := capture(t, func() error {
+		return cmdSolve([]string{"-require", "congestion_control", "-timeout", "1m", "-max-conflicts", "100000"}, "synth")
+	})
+	if !strings.Contains(out, "FEASIBLE") || !strings.Contains(out, "spent:") {
+		t.Errorf("budgeted synth output wrong:\n%s", out)
 	}
 }
 

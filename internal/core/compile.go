@@ -48,6 +48,11 @@ type compiled struct {
 	coresTotal intlin.Int
 	costTotal  intlin.Int
 
+	// witness is the most recent Sat model read back as a design; the
+	// optimizer snapshots it so a budget trip mid-optimization can still
+	// return the best design seen (graceful degradation).
+	witness *Design
+
 	totalKFlows int64
 	maxPeakBW   int64
 }
@@ -97,6 +102,9 @@ func (e *Engine) compile(sc *Scenario) (*compiled, error) {
 	// Boolean phase done: materialize the CNF into a solver, then bolt
 	// the arithmetic circuits on top of the same variable space.
 	c.solver = sat.NewSolver()
+	if e.fault != nil {
+		c.solver.SetFaultHook(e.fault)
+	}
 	c.solver.EnsureVars(c.vocab.Len())
 	for _, cl := range c.cv.CNF.Clauses {
 		lits := make([]sat.Lit, len(cl))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,7 +13,8 @@ import (
 // construct; each query compiles a fresh solver instance, so an Engine is
 // safe for concurrent queries.
 type Engine struct {
-	kb *kb.KB
+	kb    *kb.KB
+	fault func(sat.FaultEvent, sat.Stats) bool
 }
 
 // New validates the knowledge base and returns an engine over it.
@@ -26,21 +28,48 @@ func New(k *kb.KB) (*Engine, error) {
 // KB returns the engine's knowledge base.
 func (e *Engine) KB() *kb.KB { return e.kb }
 
+// SetFaultHook installs a fault-injection callback on every solver the
+// engine compiles from now on (see sat.Options.FaultHook): it fires at
+// each solve entry and conflict boundary, and returning true interrupts
+// the solve there. It makes every degraded path — interrupts, budget
+// trips at the Nth conflict — deterministically testable. Not meant for
+// production use; not safe to change while queries are in flight.
+func (e *Engine) SetFaultHook(h func(sat.FaultEvent, sat.Stats) bool) { e.fault = h }
+
 // Synthesize answers the existential query: does a compliant design exist
 // for the scenario? On success the report carries a witness design; on
 // failure it carries a minimal explanation.
 func (e *Engine) Synthesize(sc Scenario) (*Report, error) {
+	return e.SynthesizeCtx(context.Background(), sc, Budget{})
+}
+
+// SynthesizeCtx is Synthesize under a context and resource budget. When
+// the context is cancelled, its deadline (or b.Timeout) expires, or a
+// work budget trips before a verdict, it returns *ErrResourceExhausted;
+// when only the explanation-minimization phase is cut short, it returns
+// the report with Explanation.Approximate set instead of failing.
+func (e *Engine) SynthesizeCtx(ctx context.Context, sc Scenario, b Budget) (*Report, error) {
+	return e.run(ctx, "synthesize", sc, b)
+}
+
+func (e *Engine) run(ctx context.Context, query string, sc Scenario, b Budget) (*Report, error) {
 	c, err := e.compile(&sc)
 	if err != nil {
 		return nil, err
 	}
-	return e.decide(c, nil)
+	return e.decide(ctx, query, b, c, nil)
 }
 
 // Check verifies a concrete design against the scenario: exactly the
 // design's systems deployed and its hardware selected. On violation the
 // explanation names the facts the design breaks.
 func (e *Engine) Check(design Design, sc Scenario) (*Report, error) {
+	return e.CheckCtx(context.Background(), design, sc, Budget{})
+}
+
+// CheckCtx is Check under a context and resource budget; see
+// SynthesizeCtx for the degradation contract.
+func (e *Engine) CheckCtx(ctx context.Context, design Design, sc Scenario, b Budget) (*Report, error) {
 	// Pin the design by construction: every system var gets a
 	// pin/forbid selector so explanations reference the design choices.
 	sc2 := sc
@@ -71,40 +100,39 @@ func (e *Engine) Check(design Design, sc Scenario) (*Report, error) {
 			sc2.PinnedHardware[kind] = name
 		}
 	}
-	c, err := e.compile(&sc2)
-	if err != nil {
-		return nil, err
-	}
-	return e.decide(c, nil)
+	return e.run(ctx, "check", sc2, b)
 }
 
 // decide solves under all selectors plus extra assumptions, producing a
-// report with either a witness or a minimized explanation.
-func (e *Engine) decide(c *compiled, extra []sat.Lit) (*Report, error) {
+// report with either a witness or a minimized explanation. An Unknown
+// verdict on the main decision maps to *ErrResourceExhausted; Unknown
+// during minimization degrades to an approximate explanation.
+func (e *Engine) decide(ctx context.Context, query string, b Budget, c *compiled, extra []sat.Lit) (*Report, error) {
+	g := govern(ctx, query, b, c.solver)
+	defer g.done()
 	assumps := append(c.assumptions(), extra...)
-	status := c.solver.SolveAssuming(assumps)
-	rep := &Report{
-		SolverConflicts: c.solver.Stats().Conflicts,
-		SolverDecisions: c.solver.Stats().Decisions,
-	}
-	switch status {
+	rep := &Report{}
+	switch status := c.solver.SolveAssuming(assumps); status {
 	case sat.Sat:
 		rep.Verdict = Feasible
 		rep.Design = c.designFromModel()
-		return rep, nil
 	case sat.Unsat:
 		rep.Verdict = Infeasible
-		rep.Explanation = e.minimizeCore(c, extra)
-		return rep, nil
+		rep.Explanation = e.minimizeCore(c, extra, g)
 	default:
-		return nil, fmt.Errorf("core: solver returned %v", status)
+		return nil, g.exhausted()
 	}
+	rep.setSpent(g.spent())
+	return rep, nil
 }
 
 // minimizeCore shrinks the final conflict to a minimal unsatisfiable
 // subset of selectors (deletion-based MUS extraction), then maps selector
-// names to notes.
-func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
+// names to notes. The deletion loop runs under its own phase budget:
+// when it trips (or the query deadline fires mid-minimization), the
+// current — correct but possibly unminimized — conflict is returned with
+// Approximate set instead of spinning through O(n²) solver calls.
+func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit, g *governor) *Explanation {
 	inCore := map[sat.Lit]bool{}
 	for _, l := range c.solver.FinalConflict() {
 		inCore[l] = true
@@ -116,9 +144,14 @@ func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
 			candidates = append(candidates, s)
 		}
 	}
+	// Minimization is its own phase: a fresh work allowance, so the main
+	// decision cannot starve it, and it cannot spin unboundedly.
+	g.phase()
+	ex := &Explanation{}
 	// Deletion loop: try dropping each candidate; keep dropped if still
 	// unsat without it.
 	kept := append([]selector(nil), candidates...)
+loop:
 	for i := 0; i < len(kept); i++ {
 		trial := make([]sat.Lit, 0, len(kept)-1+len(extra))
 		for j, s := range kept {
@@ -127,7 +160,8 @@ func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
 			}
 		}
 		trial = append(trial, extra...)
-		if c.solver.SolveAssuming(trial) == sat.Unsat {
+		switch c.solver.SolveAssuming(trial) {
+		case sat.Unsat:
 			// Still unsat without kept[i]: remove it. Additionally
 			// intersect with the new (possibly smaller) core.
 			newCore := map[sat.Lit]bool{}
@@ -142,9 +176,16 @@ func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
 			}
 			kept = next
 			i = -1 // restart scan over the smaller set
+		case sat.Sat:
+			// kept[i] is necessary; keep scanning.
+		default:
+			// Budget exhausted or interrupted mid-minimization: degrade
+			// to the unminimized set rather than hang.
+			ex.Approximate = true
+			ex.ApproxCause, _ = g.cause()
+			break loop
 		}
 	}
-	ex := &Explanation{}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].name < kept[j].name })
 	for _, s := range kept {
 		ex.Conflicts = append(ex.Conflicts, ConflictItem{Name: s.name, Note: s.note})
@@ -155,30 +196,93 @@ func (e *Engine) minimizeCore(c *compiled, extra []sat.Lit) *Explanation {
 // Explain runs Synthesize and returns only the explanation (nil when the
 // scenario is feasible).
 func (e *Engine) Explain(sc Scenario) (*Explanation, error) {
-	rep, err := e.Synthesize(sc)
+	return e.ExplainCtx(context.Background(), sc, Budget{})
+}
+
+// ExplainCtx is Explain under a context and resource budget; see
+// SynthesizeCtx for the degradation contract.
+func (e *Engine) ExplainCtx(ctx context.Context, sc Scenario, b Budget) (*Explanation, error) {
+	rep, err := e.run(ctx, "explain", sc, b)
 	if err != nil {
 		return nil, err
 	}
 	return rep.Explanation, nil
 }
 
+// EnumerateResult is the outcome of a governed enumeration: the design
+// classes found, plus an explicit account of whether — and why — the
+// enumeration stopped before provably exhausting the space.
+type EnumerateResult struct {
+	Designs []*Design
+	// Truncated reports that enumeration stopped while more classes may
+	// exist: the class limit was hit or a resource budget tripped. A
+	// false Truncated means Designs is provably the complete set.
+	Truncated bool
+	// Reason is "limit" when the class cap stopped the enumeration, or
+	// the exhausted resource ("deadline", "conflict budget", ...).
+	Reason string
+	// Exhausted carries the typed resource error when a budget tripped
+	// (nil for "limit" truncation and for complete enumerations).
+	Exhausted *ErrResourceExhausted
+	// Spent is the total resource consumption of the enumeration.
+	Spent BudgetSpent
+}
+
 // Enumerate returns up to max distinct compliant designs, where designs
 // are distinguished by their deployed system set (hardware variations of
 // the same system set collapse into one equivalence class, per §6
-// "identify equivalence classes of system deployments").
+// "identify equivalence classes of system deployments"). If the solver
+// gives up mid-enumeration (only possible when a fault hook or budget is
+// armed), the partial designs are returned together with the typed
+// *ErrResourceExhausted — never silently.
 func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
+	res, err := e.EnumerateCtx(context.Background(), sc, max, Budget{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Exhausted != nil {
+		// Propagate the giving-up status: callers must be able to tell
+		// "only these designs exist" from "the solver gave up".
+		return res.Designs, res.Exhausted
+	}
+	return res.Designs, nil
+}
+
+// EnumerateCtx is Enumerate under a context and resource budget. Each
+// design class gets a fresh phase allowance. Resource exhaustion is not
+// an error here: the partial result is returned with Truncated, Reason,
+// and Exhausted set, so callers can use what was found.
+func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budget) (*EnumerateResult, error) {
 	c, err := e.compile(&sc)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Design
+	g := govern(ctx, "enumerate", b, c.solver)
+	defer g.done()
+	res := &EnumerateResult{}
+	defer func() {
+		sort.Slice(res.Designs, func(i, j int) bool {
+			return fmt.Sprint(res.Designs[i].Systems) < fmt.Sprint(res.Designs[j].Systems)
+		})
+	}()
 	assumps := c.assumptions()
-	for len(out) < max {
-		if c.solver.SolveAssuming(assumps) != sat.Sat {
-			break
+	for len(res.Designs) < max {
+		g.phase() // fresh allowance per class
+		switch status := c.solver.SolveAssuming(assumps); status {
+		case sat.Sat:
+		case sat.Unsat:
+			// Space exhausted: the enumeration is complete.
+			res.Spent = g.spent()
+			return res, nil
+		default:
+			res.Truncated = true
+			res.Exhausted = g.exhausted()
+			res.Reason = res.Exhausted.Cause
+			res.Spent = res.Exhausted.Spent
+			return res, nil
 		}
 		d := c.designFromModel()
-		out = append(out, d)
+		res.Designs = append(res.Designs, d)
 		// Block this system set (projection): at least one system var
 		// must differ.
 		block := make([]sat.Lit, 0, len(c.sysLit))
@@ -191,8 +295,9 @@ func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
 		}
 		c.solver.AddClause(block...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return fmt.Sprint(out[i].Systems) < fmt.Sprint(out[j].Systems)
-	})
-	return out, nil
+	// Stopped at the class cap: more classes may exist.
+	res.Truncated = true
+	res.Reason = "limit"
+	res.Spent = g.spent()
+	return res, nil
 }

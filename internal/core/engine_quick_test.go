@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -109,7 +110,9 @@ func TestQuickExplanationsAreUnsatCores(t *testing.T) {
 		if c.solver.SolveAssuming(c.assumptions()) != sat.Unsat {
 			return true // feasible draw: nothing to verify
 		}
-		ex := e.minimizeCore(c, nil)
+		g := govern(context.Background(), "test", Budget{}, c.solver)
+		defer g.done()
+		ex := e.minimizeCore(c, nil, g)
 		if len(ex.Conflicts) == 0 {
 			return false
 		}

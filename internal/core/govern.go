@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"netarch/internal/sat"
+)
+
+// This file is the engine's resource-governance layer. Every query entry
+// point has a *Ctx variant threading a context.Context plus an explicit
+// Budget down into the SAT solver; a watchdog converts cancellation and
+// deadline expiry into solver interrupts, and per-phase conflict/decision
+// budgets arm the solver's work limits. Queries degrade gracefully
+// instead of hanging or silently truncating: Unknown verdicts surface as
+// a typed *ErrResourceExhausted, explanation minimization falls back to
+// an unminimized-but-correct core (Explanation.Approximate), and
+// enumeration reports truncation explicitly.
+
+// Budget bounds the resources one query may spend. The zero value means
+// unbounded (beyond any deadline already carried by the context).
+type Budget struct {
+	// Timeout caps wall-clock time for the whole query. It composes
+	// with any deadline on the context — the earlier one wins. Zero
+	// means no extra deadline.
+	Timeout time.Duration
+	// MaxConflicts bounds solver conflicts per phase: the main decision
+	// and each degradable follow-up phase (explanation minimization, one
+	// objective level, one enumeration class) get a fresh allowance.
+	// Zero means unlimited.
+	MaxConflicts int64
+	// MaxDecisions bounds solver decisions per phase. Zero means
+	// unlimited.
+	MaxDecisions int64
+}
+
+// BudgetSpent reports the resources a query actually consumed. It is
+// populated on every path — feasible, infeasible, and exhausted.
+type BudgetSpent struct {
+	Conflicts int64
+	Decisions int64
+	Wall      time.Duration
+}
+
+// String renders the spent budget.
+func (b BudgetSpent) String() string {
+	return fmt.Sprintf("%d conflicts, %d decisions, %s wall",
+		b.Conflicts, b.Decisions, b.Wall.Round(time.Microsecond))
+}
+
+// ErrResourceExhausted reports that a query stopped because a resource
+// budget tripped, naming which one and what was spent. Retrieve it with
+// errors.As or IsResourceExhausted; when a context deadline or cancel
+// was the cause, errors.Is(err, context.DeadlineExceeded) (respectively
+// context.Canceled) also holds via Unwrap.
+type ErrResourceExhausted struct {
+	// Query names the entry point that stopped ("synthesize", "check",
+	// "explain", "enumerate", "optimize", "suggest").
+	Query string
+	// Cause names the budget that tripped: "deadline", "canceled",
+	// "conflict budget", "decision budget", or "interrupt".
+	Cause string
+	// Spent is what the query consumed before stopping.
+	Spent BudgetSpent
+
+	ctxErr error // the context error when it caused the stop
+}
+
+// Error renders the exhaustion report.
+func (e *ErrResourceExhausted) Error() string {
+	return fmt.Sprintf("core: %s stopped: %s exhausted after %s", e.Query, e.Cause, e.Spent)
+}
+
+// Unwrap exposes the underlying context error (nil for pure work-budget
+// trips), so errors.Is against context.DeadlineExceeded/Canceled works.
+func (e *ErrResourceExhausted) Unwrap() error { return e.ctxErr }
+
+// IsResourceExhausted reports whether err is (or wraps) a resource-
+// exhaustion error.
+func IsResourceExhausted(err error) bool {
+	var e *ErrResourceExhausted
+	return errors.As(err, &e)
+}
+
+// governor threads one query's context and budgets into its solver. It
+// arms a watchdog (context → Interrupt), re-arms per-phase work budgets,
+// and translates Unknown verdicts into typed errors.
+type governor struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	budget Budget
+	query  string
+	start  time.Time
+	solver *sat.Solver
+
+	release func()
+}
+
+// govern attaches governance for one query to a freshly compiled solver
+// and arms the first phase's budget. Callers must defer g.done().
+func govern(ctx context.Context, query string, b Budget, s *sat.Solver) *governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &governor{ctx: ctx, budget: b, query: query, start: time.Now(), solver: s}
+	if b.Timeout > 0 {
+		g.ctx, g.cancel = context.WithTimeout(ctx, b.Timeout)
+	}
+	g.release = sat.Watch(g.ctx, s)
+	g.phase()
+	return g
+}
+
+// phase re-arms the per-phase budgets: the next solver calls get a fresh
+// MaxConflicts/MaxDecisions allowance on top of whatever earlier phases
+// spent. The wall-clock deadline is query-global and is NOT re-armed: a
+// fired watchdog interrupt stays sticky across phases.
+func (g *governor) phase() {
+	g.solver.SetBudget(g.budget.MaxConflicts, g.budget.MaxDecisions)
+}
+
+// spent reports cumulative consumption since the query started (the
+// solver is per-query, so its stats are the query's).
+func (g *governor) spent() BudgetSpent {
+	st := g.solver.Stats()
+	return BudgetSpent{
+		Conflicts: st.Conflicts,
+		Decisions: st.Decisions,
+		Wall:      time.Since(g.start),
+	}
+}
+
+// cause names the reason for the solver's last Unknown, preferring the
+// context's story (deadline vs cancel) when it fired.
+func (g *governor) cause() (string, error) {
+	switch g.solver.StopCause() {
+	case sat.StopConflicts:
+		return "conflict budget", nil
+	case sat.StopDecisions:
+		return "decision budget", nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return "deadline", err
+		}
+		return "canceled", err
+	}
+	return "interrupt", nil
+}
+
+// exhausted builds the typed error for an Unknown verdict.
+func (g *governor) exhausted() *ErrResourceExhausted {
+	e := &ErrResourceExhausted{Query: g.query, Spent: g.spent()}
+	e.Cause, e.ctxErr = g.cause()
+	return e
+}
+
+// done releases the watchdog. Call exactly once, when the query ends.
+func (g *governor) done() {
+	g.release()
+	if g.cancel != nil {
+		g.cancel()
+	}
+}

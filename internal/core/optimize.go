@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"netarch/internal/cardinality"
@@ -12,8 +13,17 @@ import (
 // values, in priority order.
 type OptimizeResult struct {
 	Report
-	// ObjectiveValues[i] is the minimum achieved for objectives[i].
+	// ObjectiveValues[i] is the minimum achieved for objectives[i]. When
+	// Approximate, the tail of the list may be missing (levels the
+	// budget never reached) and the last present value may be an upper
+	// bound rather than a certified optimum.
 	ObjectiveValues []int64
+	// Approximate reports that a resource budget tripped mid-
+	// optimization: Design is the best witness found before the trip,
+	// not a certified lexicographic optimum.
+	Approximate bool
+	// ApproxCause names the tripped budget when Approximate.
+	ApproxCause string
 }
 
 // Optimize finds a design minimizing the objectives lexicographically
@@ -21,43 +31,79 @@ type OptimizeResult struct {
 // 3). Earlier objectives dominate: each level is minimized subject to all
 // previous levels being at their minima.
 func (e *Engine) Optimize(sc Scenario, objectives []Objective) (*OptimizeResult, error) {
+	return e.OptimizeCtx(context.Background(), sc, objectives, Budget{})
+}
+
+// OptimizeCtx is Optimize under a context and resource budget. Each
+// objective level runs as its own budget phase. If a budget trips after
+// feasibility is established, the best design and bounds proven so far
+// are returned with Approximate set — the optimizer degrades, it does
+// not discard work. Only an exhaustion before any verdict yields
+// *ErrResourceExhausted.
+func (e *Engine) OptimizeCtx(ctx context.Context, sc Scenario, objectives []Objective, b Budget) (*OptimizeResult, error) {
 	c, err := e.compile(&sc)
 	if err != nil {
 		return nil, err
 	}
+	g := govern(ctx, "optimize", b, c.solver)
+	defer g.done()
 	assumps := c.assumptions()
-	status := c.solver.SolveAssuming(assumps)
-	if status == sat.Unsat {
-		return &OptimizeResult{Report: Report{
+	switch status := c.solver.SolveAssuming(assumps); status {
+	case sat.Sat:
+	case sat.Unsat:
+		res := &OptimizeResult{Report: Report{
 			Verdict:     Infeasible,
-			Explanation: e.minimizeCore(c, nil),
-		}}, nil
-	}
-	if status != sat.Sat {
-		return nil, fmt.Errorf("core: solver returned %v", status)
+			Explanation: e.minimizeCore(c, nil, g),
+		}}
+		res.setSpent(g.spent())
+		return res, nil
+	default:
+		return nil, g.exhausted()
 	}
 
 	res := &OptimizeResult{Report: Report{Verdict: Feasible}}
+	c.witness = c.designFromModel()
 	for _, obj := range objectives {
-		val, err := c.minimizeObjective(obj, assumps)
+		g.phase() // fresh allowance per objective level
+		val, exact, err := c.minimizeObjective(obj, assumps)
 		if err != nil {
 			return nil, err
 		}
-		res.ObjectiveValues = append(res.ObjectiveValues, val)
+		if val >= 0 {
+			res.ObjectiveValues = append(res.ObjectiveValues, val)
+		}
+		if !exact {
+			res.Approximate = true
+			res.ApproxCause, _ = g.cause()
+			break
+		}
 	}
-	// Re-solve under the accumulated bounds for the final witness.
-	if c.solver.SolveAssuming(assumps) != sat.Sat {
-		return nil, fmt.Errorf("core: optimum vanished after bounding (internal error)")
+	if !res.Approximate {
+		// Re-solve under the accumulated bounds for the final witness.
+		g.phase()
+		switch c.solver.SolveAssuming(assumps) {
+		case sat.Sat:
+			c.witness = c.designFromModel()
+		case sat.Unsat:
+			return nil, fmt.Errorf("core: optimum vanished after bounding (internal error)")
+		default:
+			// Budget tripped on the witness re-solve: the last snapshot
+			// from the search is still a valid (optimal-valued) design.
+			res.Approximate = true
+			res.ApproxCause, _ = g.cause()
+		}
 	}
-	res.Design = c.designFromModel()
-	res.SolverConflicts = c.solver.Stats().Conflicts
-	res.SolverDecisions = c.solver.Stats().Decisions
+	res.Design = c.witness
+	res.setSpent(g.spent())
 	return res, nil
 }
 
 // minimizeObjective minimizes one objective level and permanently asserts
-// its optimum, returning the achieved value.
-func (c *compiled) minimizeObjective(obj Objective, assumps []sat.Lit) (int64, error) {
+// its optimum, returning the achieved value. The bool result reports
+// exactness: false means a resource budget stopped the search — the
+// returned value (if ≥ 0) is a witnessed upper bound, and -1 means the
+// level never established any value.
+func (c *compiled) minimizeObjective(obj Objective, assumps []sat.Lit) (int64, bool, error) {
 	switch obj.Kind {
 	case MinimizeCost:
 		return c.minimizeInt(c.costTotal, assumps)
@@ -72,52 +118,68 @@ func (c *compiled) minimizeObjective(obj Objective, assumps []sat.Lit) (int64, e
 	case PreferOrder:
 		lits, err := c.orderPenaltyLits(obj.Dimension)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if len(lits) == 0 {
-			return 0, nil
+			return 0, true, nil
 		}
 		return c.minimizeCount(lits, assumps)
 	default:
-		return 0, fmt.Errorf("core: unknown objective kind %v", obj.Kind)
+		return 0, false, fmt.Errorf("core: unknown objective kind %v", obj.Kind)
 	}
 }
 
 // minimizeInt binary-searches the minimum of an arithmetic term under the
-// assumptions, then asserts term ≤ min permanently.
-func (c *compiled) minimizeInt(term intlin.Int, assumps []sat.Lit) (int64, error) {
-	if c.solver.SolveAssuming(assumps) != sat.Sat {
-		return 0, fmt.Errorf("core: objective base became infeasible")
+// assumptions, then asserts term ≤ best permanently. On a budget trip the
+// best witnessed value so far is asserted and returned as inexact.
+func (c *compiled) minimizeInt(term intlin.Int, assumps []sat.Lit) (int64, bool, error) {
+	switch c.solver.SolveAssuming(assumps) {
+	case sat.Sat:
+	case sat.Unknown:
+		return -1, false, nil // budget tripped before any value was seen
+	default:
+		return 0, false, fmt.Errorf("core: objective base became infeasible")
 	}
 	best := intlin.ValueOf(term, c.solver.Model())
+	c.witness = c.designFromModel()
 	lo := int64(0)
 	for lo < best {
 		mid := lo + (best-lo)/2
 		bound := c.arith.LeqConst(term, mid)
 		switch c.solver.SolveAssuming(append(append([]sat.Lit(nil), assumps...), bound)) {
 		case sat.Sat:
-			best = intlin.ValueOf(term, c.solver.Model())
-			if best > mid {
-				best = mid // model read-back can only improve the bound
+			if v := intlin.ValueOf(term, c.solver.Model()); v < mid {
+				best = v // model read-back can only improve the bound
+			} else {
+				best = mid
 			}
+			c.witness = c.designFromModel()
 		case sat.Unsat:
 			lo = mid + 1
 		default:
-			return 0, fmt.Errorf("core: solver indeterminate during optimization")
+			// Budget tripped mid-search: keep the witnessed upper bound.
+			c.arith.Assert(c.arith.LeqConst(term, best))
+			return best, false, nil
 		}
 	}
 	c.arith.Assert(c.arith.LeqConst(term, best))
-	return best, nil
+	return best, true, nil
 }
 
 // minimizeCount minimizes the number of true literals via a totalizer and
-// binary search, then asserts the optimum permanently.
-func (c *compiled) minimizeCount(lits []sat.Lit, assumps []sat.Lit) (int64, error) {
-	if c.solver.SolveAssuming(assumps) != sat.Sat {
-		return 0, fmt.Errorf("core: objective base became infeasible")
+// binary search, then asserts the optimum permanently. Degrades like
+// minimizeInt on a budget trip.
+func (c *compiled) minimizeCount(lits []sat.Lit, assumps []sat.Lit) (int64, bool, error) {
+	switch c.solver.SolveAssuming(assumps) {
+	case sat.Sat:
+	case sat.Unknown:
+		return -1, false, nil
+	default:
+		return 0, false, fmt.Errorf("core: objective base became infeasible")
 	}
 	tot := cardinality.NewTotalizer(c.solver, lits)
 	best := int64(tot.CountTrue(c.solver.Model()))
+	c.witness = c.designFromModel()
 	lo := int64(0)
 	for lo < best {
 		mid := lo + (best-lo)/2
@@ -132,14 +194,16 @@ func (c *compiled) minimizeCount(lits []sat.Lit, assumps []sat.Lit) (int64, erro
 			} else {
 				best = mid
 			}
+			c.witness = c.designFromModel()
 		case sat.Unsat:
 			lo = mid + 1
 		default:
-			return 0, fmt.Errorf("core: solver indeterminate during optimization")
+			tot.ConstrainAtMost(int(best))
+			return best, false, nil
 		}
 	}
 	tot.ConstrainAtMost(int(best))
-	return best, nil
+	return best, true, nil
 }
 
 // orderPenaltyLits builds one penalty literal per "dominated deployment":

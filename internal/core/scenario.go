@@ -151,15 +151,34 @@ type Report struct {
 	// Explanation names the conflicting constraint groups when
 	// Infeasible (a minimal unsatisfiable subset).
 	Explanation *Explanation
-	// Stats from the underlying solver.
+	// Spent accounts for the resources the query consumed (conflicts,
+	// decisions, wall time). Populated on feasible, infeasible, and
+	// degraded paths alike.
+	Spent BudgetSpent
+	// Stats from the underlying solver. Retained for compatibility;
+	// they mirror Spent.Conflicts / Spent.Decisions.
 	SolverConflicts int64
 	SolverDecisions int64
+}
+
+// setSpent records the budget accounting on every report path.
+func (r *Report) setSpent(sp BudgetSpent) {
+	r.Spent = sp
+	r.SolverConflicts = sp.Conflicts
+	r.SolverDecisions = sp.Decisions
 }
 
 // Explanation is a minimal set of constraint groups that cannot hold
 // together, each with the provenance note from the knowledge base.
 type Explanation struct {
 	Conflicts []ConflictItem
+	// Approximate reports that minimization stopped early because a
+	// resource budget tripped: Conflicts is still a correct
+	// unsatisfiable set, but possibly not minimal.
+	Approximate bool
+	// ApproxCause names the tripped budget when Approximate ("deadline",
+	// "conflict budget", ...).
+	ApproxCause string
 }
 
 // ConflictItem names one constraint group participating in the conflict.
@@ -174,6 +193,10 @@ func (e *Explanation) String() string {
 		return "no explanation available"
 	}
 	out := "requirements in conflict:\n"
+	if e.Approximate {
+		out = fmt.Sprintf("requirements in conflict (approximate: minimization stopped on %s):\n",
+			e.ApproxCause)
+	}
 	for _, c := range e.Conflicts {
 		out += fmt.Sprintf("  - %s", c.Name)
 		if c.Note != "" {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,12 +60,28 @@ func relaxable(name string) bool {
 // own, it returns an error — the knowledge base itself is contradictory,
 // which Suggest cannot fix.
 func (e *Engine) Suggest(sc Scenario, max int) ([]*Suggestion, error) {
+	return e.SuggestCtx(context.Background(), sc, max, Budget{})
+}
+
+// SuggestCtx is Suggest under a context and resource budget. Each grow
+// pass gets a fresh phase allowance. When a budget trips before
+// feasibility of the scenario (or of the hard facts alone) is settled,
+// it returns *ErrResourceExhausted; when it trips mid-enumeration, the
+// correction sets found so far are returned alongside the typed error —
+// partial suggestions are still useful.
+func (e *Engine) SuggestCtx(ctx context.Context, sc Scenario, max int, b Budget) ([]*Suggestion, error) {
 	c, err := e.compile(&sc)
 	if err != nil {
 		return nil, err
 	}
-	if c.solver.SolveAssuming(c.assumptions()) == sat.Sat {
+	g := govern(ctx, "suggest", b, c.solver)
+	defer g.done()
+	switch c.solver.SolveAssuming(c.assumptions()) {
+	case sat.Sat:
 		return nil, nil
+	case sat.Unsat:
+	default:
+		return nil, g.exhausted()
 	}
 
 	var hard, soft []selector
@@ -79,8 +96,13 @@ func (e *Engine) Suggest(sc Scenario, max int) ([]*Suggestion, error) {
 	for i, s := range hard {
 		hardLits[i] = s.lit
 	}
-	if c.solver.SolveAssuming(hardLits) != sat.Sat {
+	g.phase()
+	switch c.solver.SolveAssuming(hardLits) {
+	case sat.Sat:
+	case sat.Unsat:
 		return nil, fmt.Errorf("core: the knowledge base is infeasible even without architect requirements")
+	default:
+		return nil, g.exhausted()
 	}
 
 	var out []*Suggestion
@@ -88,7 +110,13 @@ func (e *Engine) Suggest(sc Scenario, max int) ([]*Suggestion, error) {
 	// Enumerate correction sets by rotating which soft selector the grow
 	// phase tries first; dedupe by the dropped-set key.
 	for start := 0; start < len(soft) && len(out) < max; start++ {
-		mcs, witness := c.growMSS(hardLits, soft, start)
+		g.phase() // fresh allowance per grow pass
+		mcs, witness, ok := c.growMSS(hardLits, soft, start)
+		if !ok {
+			// Budget tripped mid-grow: hand back what we have, typed.
+			sortSuggestions(out)
+			return out, g.exhausted()
+		}
 		if len(mcs) == 0 {
 			continue
 		}
@@ -104,29 +132,40 @@ func (e *Engine) Suggest(sc Scenario, max int) ([]*Suggestion, error) {
 		sort.Slice(sug.Drop, func(i, j int) bool { return sug.Drop[i].Name < sug.Drop[j].Name })
 		out = append(out, sug)
 	}
+	sortSuggestions(out)
+	return out, nil
+}
+
+func sortSuggestions(out []*Suggestion) {
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Drop) != len(out[j].Drop) {
 			return len(out[i].Drop) < len(out[j].Drop)
 		}
 		return fmt.Sprint(out[i].Drop) < fmt.Sprint(out[j].Drop)
 	})
-	return out, nil
 }
 
 // growMSS grows a maximal satisfiable subset of the soft selectors
 // (starting the scan at index start) and returns the complement (the
-// correction set) plus a witness design for the relaxed scenario.
-func (c *compiled) growMSS(hardLits []sat.Lit, soft []selector, start int) ([]selector, *Design) {
+// correction set) plus a witness design for the relaxed scenario. The
+// bool result is false when a resource budget tripped mid-grow, in which
+// case the returned set would be incomplete and must not be used.
+func (c *compiled) growMSS(hardLits []sat.Lit, soft []selector, start int) ([]selector, *Design, bool) {
 	kept := append([]sat.Lit(nil), hardLits...)
 	inMSS := make([]bool, len(soft))
 	var witness *Design
 	for i := 0; i < len(soft); i++ {
 		idx := (start + i) % len(soft)
 		trial := append(append([]sat.Lit(nil), kept...), soft[idx].lit)
-		if c.solver.SolveAssuming(trial) == sat.Sat {
+		switch c.solver.SolveAssuming(trial) {
+		case sat.Sat:
 			kept = trial
 			inMSS[idx] = true
 			witness = c.designFromModel()
+		case sat.Unsat:
+			// soft[idx] conflicts with the kept set: leave it out.
+		default:
+			return nil, nil, false
 		}
 	}
 	var mcs []selector
@@ -135,7 +174,7 @@ func (c *compiled) growMSS(hardLits []sat.Lit, soft []selector, start int) ([]se
 			mcs = append(mcs, s)
 		}
 	}
-	return mcs, witness
+	return mcs, witness, true
 }
 
 func mcsKey(mcs []selector) string {
@@ -163,6 +202,10 @@ type Disambiguation struct {
 	// FreeAtoms lists context atoms whose value differs across designs:
 	// pinning them is zero-cost disambiguation.
 	FreeAtoms []string
+	// Incomplete reports that the underlying enumeration was cut short
+	// by a resource budget: further classes (and hence further forks) may
+	// exist beyond what this report covers.
+	Incomplete bool
 }
 
 // Fork is one undecided role choice.
@@ -182,7 +225,11 @@ type Fork struct {
 // String renders the disambiguation report.
 func (d *Disambiguation) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d compliant design classes\n", d.Classes)
+	fmt.Fprintf(&b, "%d compliant design classes", d.Classes)
+	if d.Incomplete {
+		b.WriteString(" (enumeration cut short by resource budget)")
+	}
+	b.WriteString("\n")
 	for _, f := range d.Forks {
 		fmt.Fprintf(&b, "  %s: %s", f.Role, strings.Join(f.Alternatives, " | "))
 		if len(f.Dimensions) > 0 {
@@ -204,11 +251,19 @@ func (d *Disambiguation) String() string {
 // which order dimensions could settle each fork, and which context atoms
 // are still free.
 func (e *Engine) Disambiguate(sc Scenario, limit int) (*Disambiguation, error) {
-	designs, err := e.Enumerate(sc, limit)
+	return e.DisambiguateCtx(context.Background(), sc, limit, Budget{})
+}
+
+// DisambiguateCtx is Disambiguate under a context and resource budget.
+// When the enumeration is cut short by a budget, the report is built from
+// the classes found and marked Incomplete rather than discarded.
+func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b Budget) (*Disambiguation, error) {
+	res, err := e.EnumerateCtx(ctx, sc, limit, b)
 	if err != nil {
 		return nil, err
 	}
-	d := &Disambiguation{Classes: len(designs)}
+	designs := res.Designs
+	d := &Disambiguation{Classes: len(designs), Incomplete: res.Exhausted != nil}
 	if len(designs) < 2 {
 		return d, nil
 	}

@@ -9,12 +9,15 @@ func (s *Solver) solveDPLL() Status {
 	// already been tried in both phases.
 	s.flipped = s.flipped[:0]
 	for {
-		if s.interrupted() {
+		if s.interrupted() || s.decisionsExhausted() {
 			return Unknown
 		}
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++
+			if s.fireFault(EventConflict) {
+				s.Interrupt()
+			}
 			// Backtrack chronologically to the deepest unflipped decision.
 			level := s.decisionLevel()
 			for level > 0 && s.flipped[level-1] {
@@ -43,7 +46,7 @@ func (s *Solver) solveDPLL() Status {
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.flipped = append(s.flipped, false)
 		s.uncheckedEnqueue(s.decisionLit(v), nil)
-		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+		if s.conflictsExhausted() {
 			return Unknown
 		}
 	}

@@ -78,15 +78,42 @@ func SolvePortfolio(ctx context.Context, clauses [][]Lit, nVars int, configs []O
 		wg.Wait()
 	}()
 
+	definitive := func(out outcome) bool { return out.status == Sat || out.status == Unsat }
+	won := func(out outcome) PortfolioResult {
+		return PortfolioResult{Status: out.status, Winner: out.idx, Model: out.model}
+	}
 	pending := len(configs)
 	for pending > 0 {
+		// Prefer an already-delivered result over cancellation: when a
+		// winner and ctx.Done land together, a bare two-way select could
+		// pick Done and discard the won verdict.
+		select {
+		case out := <-results:
+			pending--
+			if definitive(out) {
+				return won(out)
+			}
+			continue
+		default:
+		}
 		select {
 		case <-ctx.Done():
+			// Stop the workers, then drain everything they produced: a
+			// verdict that was reached is returned, not thrown away.
+			// Every goroutine sends exactly once (buffered channel)
+			// before wg.Done, so after Wait all results are available.
+			stopAll()
+			wg.Wait()
+			for ; pending > 0; pending-- {
+				if out := <-results; definitive(out) {
+					return won(out)
+				}
+			}
 			return PortfolioResult{Status: Unknown, Winner: -1}
 		case out := <-results:
 			pending--
-			if out.status == Sat || out.status == Unsat {
-				return PortfolioResult{Status: out.status, Winner: out.idx, Model: out.model}
+			if definitive(out) {
+				return won(out)
 			}
 		}
 	}

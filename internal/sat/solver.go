@@ -83,6 +83,15 @@ type Options struct {
 	// MaxConflicts, when > 0, bounds the total number of conflicts
 	// before Solve returns Unknown.
 	MaxConflicts int64
+	// MaxDecisions, when > 0, bounds the total number of decisions
+	// before Solve returns Unknown.
+	MaxDecisions int64
+	// FaultHook, when non-nil, is invoked at every Solve entry and at
+	// every conflict boundary; returning true interrupts the solver (the
+	// running Solve returns Unknown with StopCause StopInterrupt). The
+	// deterministic fault-injection seam for testing degraded paths —
+	// see SetFaultHook.
+	FaultHook func(FaultEvent, Stats) bool
 }
 
 // Stats reports cumulative solver counters.
@@ -198,6 +207,12 @@ type Solver struct {
 	proof *Proof // non-nil when DRAT logging is attached
 
 	stop stopFlag // set by Interrupt; polled at conflict boundaries
+
+	// Per-call work budgets (absolute caps against stats; 0 = none) and
+	// the reason the last Solve returned Unknown. See SetBudget/StopCause.
+	confLimit int64
+	decLimit  int64
+	stopCause StopCause
 }
 
 // NewSolver returns a solver with default options.
@@ -398,12 +413,31 @@ func (s *Solver) Okay() bool { return s.okay }
 func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
 
 // SolveAssuming decides the instance under the given assumption literals.
-// On Unsat, FinalConflict reports the subset of assumptions used.
+// On Unsat, FinalConflict reports the subset of assumptions used. On
+// Unknown, StopCause reports which limit stopped the solve.
 func (s *Solver) SolveAssuming(assumps []Lit) Status {
+	st := s.solveAssuming(assumps)
+	if st == Unknown {
+		s.stopCause = s.unknownCause()
+	} else {
+		s.stopCause = StopNone
+	}
+	return st
+}
+
+func (s *Solver) solveAssuming(assumps []Lit) Status {
 	s.model = nil
 	s.conflict = nil
+	if s.fireFault(EventSolve) {
+		s.Interrupt()
+	}
 	if s.interrupted() {
 		// Sticky interrupt (see Interrupt): refuse to start.
+		return Unknown
+	}
+	if s.conflictsExhausted() || s.decisionsExhausted() {
+		// A budget already spent by earlier calls: refuse to start
+		// rather than run an unbounded search (see SetBudget).
 		return Unknown
 	}
 	if !s.okay {
@@ -444,7 +478,7 @@ func (s *Solver) SolveAssuming(assumps []Lit) Status {
 		if s.interrupted() {
 			return Unknown
 		}
-		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+		if s.conflictsExhausted() || s.decisionsExhausted() {
 			return Unknown
 		}
 		curRestarts++
@@ -457,7 +491,7 @@ func (s *Solver) SolveAssuming(assumps []Lit) Status {
 func (s *Solver) search(conflictBudget int64) Status {
 	var conflicts int64
 	for {
-		if s.interrupted() {
+		if s.interrupted() || s.decisionsExhausted() {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -465,6 +499,12 @@ func (s *Solver) search(conflictBudget int64) Status {
 		if confl != nil {
 			s.stats.Conflicts++
 			conflicts++
+			if s.fireFault(EventConflict) {
+				// Forced interrupt at this conflict boundary. A verdict
+				// reached at the same boundary (top-level conflict below)
+				// still wins; otherwise the loop-top check stops us.
+				s.Interrupt()
+			}
 			if s.decisionLevel() == 0 {
 				s.okay = false
 				s.logEmpty()
@@ -481,7 +521,7 @@ func (s *Solver) search(conflictBudget int64) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+		if s.conflictsExhausted() {
 			s.cancelUntil(0)
 			return Unknown
 		}

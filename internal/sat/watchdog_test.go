@@ -1,0 +1,260 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// phpClauses builds the PHP(n+1, n) clause list (unsatisfiable) without
+// touching a solver, for portfolio and fresh-solver tests.
+func phpClauses(n int) (clauses [][]Lit, nVars int) {
+	v := func(p, h int) Lit { return Lit(p*n + h + 1) }
+	for p := 0; p < n+1; p++ {
+		var c []Lit
+		for h := 0; h < n; h++ {
+			c = append(c, v(p, h))
+		}
+		clauses = append(clauses, c)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n+1; p1++ {
+			for p2 := p1 + 1; p2 < n+1; p2++ {
+				clauses = append(clauses, []Lit{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return clauses, (n + 1) * n
+}
+
+func TestSetBudgetConflicts(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 8, 7) // needs far more than 5 conflicts
+	s.SetBudget(5, 0)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("budgeted solve returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopConflicts {
+		t.Fatalf("StopCause = %v, want StopConflicts", s.StopCause())
+	}
+	if got := s.Stats().Conflicts; got < 5 {
+		t.Fatalf("stats report %d conflicts, want >= 5", got)
+	}
+	// Lifting the budget lets the same solver finish the proof.
+	s.SetBudget(0, 0)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("unbudgeted re-solve returned %v, want Unsat", st)
+	}
+	if s.StopCause() != StopNone {
+		t.Fatalf("StopCause after verdict = %v, want StopNone", s.StopCause())
+	}
+}
+
+func TestSetBudgetDecisions(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	s.SetBudget(0, 3)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("decision-budgeted solve returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopDecisions {
+		t.Fatalf("StopCause = %v, want StopDecisions", s.StopCause())
+	}
+}
+
+func TestSetBudgetReArm(t *testing.T) {
+	// Each SetBudget call grants a fresh allowance relative to work
+	// already done, so repeated phases make forward progress and the
+	// accumulated budget eventually completes the proof.
+	s := NewSolver()
+	pigeonhole(s, 7, 6)
+	for phase := 0; phase < 10000; phase++ {
+		s.SetBudget(20, 0)
+		switch st := s.Solve(); st {
+		case Unsat:
+			return // proof finished across re-armed phases
+		case Unknown:
+			if s.StopCause() != StopConflicts {
+				t.Fatalf("phase %d: StopCause = %v, want StopConflicts", phase, s.StopCause())
+			}
+		default:
+			t.Fatalf("phase %d: got %v", phase, st)
+		}
+	}
+	t.Fatal("re-armed phases never completed the proof")
+}
+
+func TestFaultHookSolveEntry(t *testing.T) {
+	s := NewSolver()
+	s.AddClause(1, 2)
+	s.SetFaultHook(func(ev FaultEvent, _ Stats) bool { return ev == EventSolve })
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve-entry fault returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopInterrupt {
+		t.Fatalf("StopCause = %v, want StopInterrupt", s.StopCause())
+	}
+	// Removing the hook and clearing the (sticky) interrupt restores the
+	// solver.
+	s.SetFaultHook(nil)
+	s.ClearInterrupt()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("recovered solve returned %v, want Sat", st)
+	}
+}
+
+func TestFaultHookNthConflict(t *testing.T) {
+	const n = 4
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	s.SetFaultHook(func(ev FaultEvent, st Stats) bool {
+		return ev == EventConflict && st.Conflicts >= n
+	})
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("Nth-conflict fault returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopInterrupt {
+		t.Fatalf("StopCause = %v, want StopInterrupt", s.StopCause())
+	}
+	if got := s.Stats().Conflicts; got != n {
+		t.Fatalf("stopped after %d conflicts, want exactly %d", got, n)
+	}
+}
+
+func TestFaultHookObservesWithoutTripping(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 6, 5)
+	sawSolve, sawConflict := false, false
+	s.SetFaultHook(func(ev FaultEvent, _ Stats) bool {
+		switch ev {
+		case EventSolve:
+			sawSolve = true
+		case EventConflict:
+			sawConflict = true
+		}
+		return false
+	})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("observed solve returned %v, want Unsat", st)
+	}
+	if !sawSolve || !sawConflict {
+		t.Fatalf("hook saw solve=%v conflict=%v, want both", sawSolve, sawConflict)
+	}
+}
+
+func TestWatchExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSolver()
+	s.AddClause(1)
+	release := Watch(ctx, s)
+	defer release()
+	// The interrupt is set synchronously for an already-done context, so
+	// the refusal is deterministic, not racy.
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve under expired context returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopInterrupt {
+		t.Fatalf("StopCause = %v, want StopInterrupt", s.StopCause())
+	}
+}
+
+func TestWatchDeadlineStopsHardSolve(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 12, 11) // minutes of work, far past the deadline
+	deadline := 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	release := Watch(ctx, s)
+	defer release()
+	start := time.Now()
+	st := s.Solve()
+	elapsed := time.Since(start)
+	if st != Unknown {
+		t.Fatalf("deadline solve returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopInterrupt {
+		t.Fatalf("StopCause = %v, want StopInterrupt", s.StopCause())
+	}
+	// Generous bound: the solver polls at conflict boundaries, so it must
+	// stop within a small multiple of the deadline, never hang.
+	if elapsed > 10*deadline+2*time.Second {
+		t.Fatalf("solve ran %s past a %s deadline", elapsed, deadline)
+	}
+}
+
+func TestWatchReleaseDisarms(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSolver()
+	s.AddClause(1, 2)
+	release := Watch(ctx, s)
+	release() // disarm before the cancel fires
+	cancel()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve after released watchdog returned %v, want Sat", st)
+	}
+	// Background contexts are a no-op watch.
+	release = Watch(context.Background(), s)
+	release()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve under background watch returned %v, want Sat", st)
+	}
+}
+
+func TestStopCauseStrings(t *testing.T) {
+	cases := map[StopCause]string{
+		StopNone:      "none",
+		StopInterrupt: "interrupt",
+		StopConflicts: "conflict budget",
+		StopDecisions: "decision budget",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if EventSolve.String() != "solve" || EventConflict.String() != "conflict" {
+		t.Error("FaultEvent strings wrong")
+	}
+}
+
+// TestPortfolioDrainsDeliveredVerdict is the regression test for the
+// cancellation race: a worker that reaches its verdict at the same
+// instant the context is cancelled must win, not be thrown away. The
+// fault hook cancels the context deterministically at the solver's final
+// conflict (learned from a probe run), so every iteration exercises the
+// exact race window.
+func TestPortfolioDrainsDeliveredVerdict(t *testing.T) {
+	clauses, nVars := phpClauses(6)
+
+	// Probe: how many conflicts does the default configuration need?
+	probe := NewSolver()
+	probe.EnsureVars(nVars)
+	for _, c := range clauses {
+		probe.AddClause(c...)
+	}
+	if st := probe.Solve(); st != Unsat {
+		t.Fatalf("probe returned %v, want Unsat", st)
+	}
+	final := probe.Stats().Conflicts
+	if final == 0 {
+		t.Fatal("probe finished without conflicts; instance too easy for the race")
+	}
+
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		hook := func(ev FaultEvent, st Stats) bool {
+			if ev == EventConflict && st.Conflicts == final {
+				// Cancel at the exact conflict that completes the proof:
+				// the verdict lands together with ctx.Done.
+				cancel()
+			}
+			return false
+		}
+		res := SolvePortfolio(ctx, clauses, nVars, []Options{{FaultHook: hook}})
+		cancel()
+		if res.Status != Unsat || res.Winner != 0 {
+			t.Fatalf("iteration %d: got %+v, want the delivered Unsat verdict", i, res)
+		}
+	}
+}

@@ -98,6 +98,28 @@ type (
 	Fork = core.Fork
 )
 
+// Resource-governance types: every query has a *Ctx variant taking a
+// context.Context plus a Budget, and degrades gracefully when a budget
+// trips. See package core for the degradation contract.
+type (
+	// Budget bounds wall-clock time and per-phase solver work for one
+	// query. The zero value means unbounded.
+	Budget = core.Budget
+	// BudgetSpent reports the resources a query actually consumed.
+	BudgetSpent = core.BudgetSpent
+	// ErrResourceExhausted is the typed error returned when a budget
+	// trips before a verdict; errors.Is against context.DeadlineExceeded
+	// or context.Canceled also works when the context was the cause.
+	ErrResourceExhausted = core.ErrResourceExhausted
+	// EnumerateResult is a governed enumeration outcome: designs plus an
+	// explicit truncation account.
+	EnumerateResult = core.EnumerateResult
+)
+
+// IsResourceExhausted reports whether err is (or wraps) a resource-
+// exhaustion error from a governed query.
+func IsResourceExhausted(err error) bool { return core.IsResourceExhausted(err) }
+
 // Query verdicts.
 const (
 	Feasible   = core.Feasible

@@ -1,7 +1,10 @@
 package netarch_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"netarch"
 )
@@ -59,6 +62,56 @@ func TestPublicAPISurface(t *testing.T) {
 	}
 	if ex == nil || len(ex.Conflicts) == 0 {
 		t.Fatal("impossible scenario must produce an explanation")
+	}
+}
+
+// TestGovernedAPISurface exercises the resource-governance facade: *Ctx
+// queries under budgets, the typed exhaustion error, and degraded-mode
+// labelling.
+func TestGovernedAPISurface(t *testing.T) {
+	eng, err := netarch.NewEngine(netarch.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A generous budget answers like the ungoverned call.
+	rep, err := eng.SynthesizeCtx(context.Background(), netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+	}, netarch.Budget{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != netarch.Feasible {
+		t.Fatalf("governed synthesize failed: %v", rep.Explanation)
+	}
+	if rep.Spent.Wall <= 0 {
+		t.Errorf("budget accounting missing: %+v", rep.Spent)
+	}
+
+	// An expired context is a typed, inspectable refusal.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.SynthesizeCtx(ctx, netarch.Scenario{}, netarch.Budget{})
+	if !netarch.IsResourceExhausted(err) {
+		t.Fatalf("want resource exhaustion, got %v", err)
+	}
+	var re *netarch.ErrResourceExhausted
+	if !errors.As(err, &re) || re.Cause != "canceled" {
+		t.Fatalf("exhaustion not inspectable: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("errors.Is(err, context.Canceled) must hold")
+	}
+
+	// Governed enumeration labels its completeness explicitly.
+	res, err := eng.EnumerateCtx(context.Background(), netarch.Scenario{
+		Require: []netarch.Property{"congestion_control"},
+	}, 2, netarch.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Reason != "limit" {
+		t.Fatalf("limit truncation mislabeled: %+v", res)
 	}
 }
 
