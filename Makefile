@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify clean
+.PHONY: build test vet race verify bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench-smoke compiles and runs one benchmark iteration so the bench
+# suite can't bit-rot between full runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkCompile -benchtime=1x .
+
+# bench runs the full root benchmark suite with allocation stats and
+# renders the results to BENCH_PR2.json (name -> ns/op, B/op, allocs/op)
+# via the stdlib-only parser in cmd/benchjson. Commit the JSON to track
+# the perf trajectory.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee /tmp/netarch-bench.txt
+	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > BENCH_PR2.json
+
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
-# analysis and the race detector over every package.
-verify: build vet test race
+# analysis, the race detector over every package, and a benchmark smoke
+# run.
+verify: build vet test race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON object on stdout mapping each benchmark name to its
+// measurements:
+//
+//	go test -run=NONE -bench=. -benchmem . | benchjson > BENCH_PR2.json
+//
+// Output shape (keys sorted, so reruns diff cleanly):
+//
+//	{
+//	  "BenchmarkCompile": {"iterations": 16, "ns_per_op": 70552719, "b_per_op": 26478113, "allocs_per_op": 378059},
+//	  ...
+//	}
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. A benchmark that appears more than once (e.g. -count>1)
+// keeps the minimum ns/op run, the conventional "best of N" summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's measurements. B/op and allocs/op are
+// -1 when the run lacked -benchmem.
+type result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine parses one "BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op"
+// line. The trailing -N GOMAXPROCS suffix is stripped from the name so
+// results compare across machines.
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	r := result{Iterations: iters, BPerOp: -1, AllocsPerOp: -1}
+	// The remainder alternates value/unit pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			r.BPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if !seenNs {
+		return "", result{}, false
+	}
+	return name, r, true
+}
+
+func main() {
+	results := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := results[name]; !dup || r.NsPerOp < prev.NsPerOp {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Emit by hand to keep the keys in sorted order (encoding/json sorts
+	// map keys too, but building the document explicitly keeps the format
+	// obvious and the indentation stable).
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "{")
+	for i, n := range names {
+		blob, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", n, blob, comma)
+	}
+	fmt.Fprintln(out, "}")
+}

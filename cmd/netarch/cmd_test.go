@@ -227,3 +227,28 @@ func TestCmdCheckFlow(t *testing.T) {
 		t.Errorf("check output wrong:\n%s", out)
 	}
 }
+
+func TestCmdMulti(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdMulti([]string{"-rounds", "2", "-require", "congestion_control"})
+	})
+	for _, want := range []string{"round 1:", "round 2:", "FEASIBLE", "cache:", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi output missing %q:\n%s", want, out)
+		}
+	}
+	// Two rounds of synth+explain+optimize over one shape: one compile,
+	// the rest served from the cache.
+	if !strings.Contains(out, "1 bases cached") || !strings.Contains(out, "1 misses") {
+		t.Errorf("multi should compile exactly one base:\n%s", out)
+	}
+}
+
+func TestCmdSolveCacheStatsFlag(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdSolve([]string{"-require", "congestion_control", "-cache-stats"}, "synth")
+	})
+	if !strings.Contains(out, "cache:") || !strings.Contains(out, "misses") {
+		t.Errorf("synth -cache-stats should print cache counters:\n%s", out)
+	}
+}

@@ -37,6 +37,8 @@ Usage:
   netarch explain [flags]           explain why no design exists
   netarch suggest [flags]           propose minimal requirement relaxations
   netarch disambiguate [flags]      report where the solution space forks
+  netarch multi [flags]             run repeated queries on one engine
+                                    (shows compiled-base cache amortization)
   netarch catalog [stats|systems|hardware|export|export-dsl]
   netarch kb <validate|to-json|to-dsl> <file|->
   netarch kb diff <old> <new>       compare two knowledge-base files
@@ -58,6 +60,10 @@ Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
   -timeout D          wall-clock deadline for the query (e.g. 500ms, 2s)
   -max-conflicts N    solver conflict budget per phase (0 = unlimited)
   -max-decisions N    solver decision budget per phase (0 = unlimited)
+
+Cache flags:
+  -cache-stats        print compiled-base cache stats after the queries
+  -rounds N           (multi) rounds of synth+explain+optimize (default 3)
 
 Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted
 before a verdict. Degraded-but-useful answers (approximate explanations,
@@ -85,6 +91,8 @@ func main() {
 		err = cmdSolve(os.Args[2:], "suggest")
 	case "disambiguate":
 		err = cmdSolve(os.Args[2:], "disambiguate")
+	case "multi":
+		err = cmdMulti(os.Args[2:])
 	case "catalog":
 		err = cmdCatalog(os.Args[2:])
 	case "kb":
@@ -233,6 +241,7 @@ func cmdSolve(args []string, mode string) error {
 	fs := flag.NewFlagSet(mode, flag.ContinueOnError)
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
+	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -322,6 +331,65 @@ func cmdSolve(args []string, mode string) error {
 				fmt.Printf("approximate: optimization stopped on %s\n", res.ApproxCause)
 			}
 		}
+	}
+	if *cacheStats {
+		fmt.Printf("cache: %s\n", eng.CacheStats())
+	}
+	return nil
+}
+
+// cmdMulti runs repeated rounds of synth + explain + optimize on one
+// engine over the same scenario, timing each query. The first round pays
+// compilation; later rounds are served from the compiled-base cache, so
+// the printed timings make the amortization visible.
+func cmdMulti(args []string) error {
+	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
+	getScenario, objectives := scenarioFlags(fs)
+	getBudget := budgetFlags(fs)
+	rounds := fs.Int("rounds", 3, "rounds of synth+explain+optimize to run")
+	cacheStats := fs.Bool("cache-stats", true, "print compiled-base cache stats after the queries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := getScenario()
+	if err != nil {
+		return err
+	}
+	objs, err := parseObjectives(*objectives)
+	if err != nil {
+		return err
+	}
+	budget := getBudget()
+	ctx := context.Background()
+	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	if err != nil {
+		return err
+	}
+	for r := 1; r <= *rounds; r++ {
+		start := time.Now()
+		rep, err := eng.SynthesizeCtx(ctx, sc, budget)
+		if err != nil {
+			return err
+		}
+		synthDur := time.Since(start)
+		start = time.Now()
+		if _, err := eng.ExplainCtx(ctx, sc, budget); err != nil {
+			return err
+		}
+		explainDur := time.Since(start)
+		start = time.Now()
+		if _, err := eng.OptimizeCtx(ctx, sc, objs, budget); err != nil {
+			return err
+		}
+		optDur := time.Since(start)
+		fmt.Printf("round %d: %s  synth %s  explain %s  optimize %s\n",
+			r, rep.Verdict,
+			synthDur.Round(time.Microsecond),
+			explainDur.Round(time.Microsecond),
+			optDur.Round(time.Microsecond))
+	}
+	if *cacheStats {
+		fmt.Printf("cache: %s\n", eng.CacheStats())
 	}
 	return nil
 }

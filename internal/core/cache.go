@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netarch/internal/kb"
+	"netarch/internal/sat"
+)
+
+// This file implements query amortization: compilation pays once per
+// (KB, scenario shape) instead of once per query. A scenario is split
+// into its structural "shape" (workloads, fleet size, hardware catalog
+// restrictions, bounds, cost cap — everything that changes the CNF) and
+// its query-side requirements (context pins, Require, pinned/forbidden
+// systems — everything expressible as assumption-guarded selector
+// clauses). Shapes compile to frozen, Simplify()-ed bases keyed by
+// Scenario.fingerprint(); each query clones the base solver and layers
+// its own selectors on the private clone. Different contexts and
+// requirements over the same workload set therefore share one base.
+
+// DefaultCacheCapacity is the number of compiled bases an Engine retains
+// by default. See Engine.SetCacheCapacity.
+const DefaultCacheCapacity = 32
+
+// CacheStats reports the state of an engine's compiled-base cache.
+type CacheStats struct {
+	// Size is the number of compiled bases currently cached; Capacity is
+	// the retention limit (0 means caching is disabled).
+	Size     int
+	Capacity int
+	// Hits and Misses count queries served from a cached base vs queries
+	// that had to compile one, over the engine's lifetime (InvalidateCache
+	// does not reset them).
+	Hits   int64
+	Misses int64
+}
+
+// String renders the cache stats.
+func (cs CacheStats) String() string {
+	total := cs.Hits + cs.Misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(cs.Hits) / float64(total) * 100
+	}
+	return fmt.Sprintf("%d bases cached (cap %d), %d hits / %d misses (%.0f%% hit rate)",
+		cs.Size, cs.Capacity, cs.Hits, cs.Misses, rate)
+}
+
+// CacheStats returns a snapshot of the compiled-base cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return CacheStats{Size: len(e.bases), Capacity: e.cacheCap, Hits: e.hits, Misses: e.misses}
+}
+
+// InvalidateCache drops every cached compiled base. Call it after
+// mutating the knowledge base in place; queries in flight keep their
+// private clones and are unaffected. Hit/miss counters are lifetime
+// counters and are not reset.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bases = make(map[string]*compiled)
+	e.baseOrder = nil
+}
+
+// SetCacheCapacity bounds how many compiled bases the engine retains
+// (FIFO eviction). n <= 0 disables caching entirely: every query
+// compiles from scratch, restoring the pre-cache behavior. Safe to call
+// concurrently with queries.
+func (e *Engine) SetCacheCapacity(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.cacheCap = n
+	for len(e.baseOrder) > n {
+		delete(e.bases, e.baseOrder[0])
+		e.baseOrder = e.baseOrder[1:]
+	}
+}
+
+// baseShape strips a scenario to the fields that shape the compiled base.
+// Context, Require, PinnedSystems and ForbiddenSystems are query-side:
+// specialize() re-asserts them on each clone under fresh selectors. Two
+// exceptions stay base-side: the cxl_pooling atom feeds the memory-
+// capacity arithmetic structurally, and when performance Bounds are
+// present the full Context does (order guards resolve against it at
+// compile time).
+func baseShape(sc *Scenario) Scenario {
+	shape := Scenario{
+		NumServers:  sc.NumServers,
+		NumSwitches: sc.NumSwitches,
+		Workloads:   append([]string(nil), sc.Workloads...),
+		Bounds:      append([]PerformanceBound(nil), sc.Bounds...),
+		MaxCostUSD:  sc.MaxCostUSD,
+	}
+	if sc.PinnedHardware != nil {
+		shape.PinnedHardware = make(map[kb.HardwareKind]string, len(sc.PinnedHardware))
+		for k, v := range sc.PinnedHardware {
+			shape.PinnedHardware[k] = v
+		}
+	}
+	if sc.AllowedHardware != nil {
+		shape.AllowedHardware = make(map[kb.HardwareKind][]string, len(sc.AllowedHardware))
+		for k, v := range sc.AllowedHardware {
+			shape.AllowedHardware[k] = append([]string(nil), v...)
+		}
+	}
+	if sc.RackServers != nil {
+		shape.RackServers = make(map[string]int, len(sc.RackServers))
+		for k, v := range sc.RackServers {
+			shape.RackServers[k] = v
+		}
+	}
+	if len(sc.Bounds) > 0 {
+		if sc.Context != nil {
+			shape.Context = make(map[string]bool, len(sc.Context))
+			for a, v := range sc.Context {
+				shape.Context[a] = v
+			}
+		}
+	} else if v, ok := sc.Context["cxl_pooling"]; ok {
+		shape.Context = map[string]bool{"cxl_pooling": v}
+	}
+	return shape
+}
+
+// instance produces the per-query compiled instance: a cached (or fresh)
+// base specialized with the query's own selectors. With caching enabled
+// the query gets a private clone of the base solver; with it disabled the
+// freshly compiled base is used directly. Both paths flow through
+// compileBase + specialize, so cached and cold queries are byte-identical.
+func (e *Engine) instance(sc *Scenario) (*compiled, error) {
+	shape := baseShape(sc)
+	e.mu.RLock()
+	enabled := e.cacheCap > 0
+	var base *compiled
+	var key string
+	if enabled {
+		key = shape.fingerprint()
+		base = e.bases[key]
+	}
+	e.mu.RUnlock()
+
+	if !enabled {
+		base, err := e.compileBase(&shape)
+		if err != nil {
+			return nil, err
+		}
+		return e.specialize(base, sc, base.solver), nil
+	}
+	if base != nil {
+		e.mu.Lock()
+		e.hits++
+		e.mu.Unlock()
+		return e.specialize(base, sc, base.solver.Clone()), nil
+	}
+	fresh, err := e.compileBase(&shape)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.misses++
+	if existing := e.bases[key]; existing != nil {
+		// Lost a compile race: adopt the stored base so every query over
+		// this shape clones the same instance.
+		base = existing
+	} else {
+		base = fresh
+		e.bases[key] = base
+		e.baseOrder = append(e.baseOrder, key)
+		if len(e.baseOrder) > e.cacheCap {
+			delete(e.bases, e.baseOrder[0])
+			e.baseOrder = e.baseOrder[1:]
+		}
+	}
+	e.mu.Unlock()
+	return e.specialize(base, sc, base.solver.Clone()), nil
+}
+
+// specialize layers one query's requirements onto a compiled base:
+// context overrides and additions, Require groups, and pinned/forbidden
+// systems all become assumption-guarded selector clauses on the given
+// solver (a private clone, or the base solver itself on the cache-off
+// path). The base is only read, never written — the returned compiled
+// owns the solver and a fresh selector list, so concurrent queries over
+// one base cannot interfere.
+func (e *Engine) specialize(base *compiled, sc *Scenario, solver *sat.Solver) *compiled {
+	solver.SetFaultHook(e.fault)
+	c := &compiled{
+		kb:          base.kb,
+		sc:          sc,
+		vocab:       base.vocab, // frozen: query-time access is Lookup-only
+		solver:      solver,
+		arith:       base.arith.WithAdder(solver),
+		sysLit:      base.sysLit,
+		hwLit:       base.hwLit,
+		workloads:   base.workloads,
+		derivedCtx:  base.derivedCtx,
+		provides:    base.provides,
+		frozen:      true,
+		coresUsed:   base.coresUsed,
+		coresTotal:  base.coresTotal,
+		costTotal:   base.costTotal,
+		totalKFlows: base.totalKFlows,
+		maxPeakBW:   base.maxPeakBW,
+	}
+
+	// The query's pinned context: base pins overlaid with the scenario's.
+	c.pinnedCtx = make(map[string]bool, len(base.pinnedCtx)+len(sc.Context))
+	for a, v := range base.pinnedCtx {
+		c.pinnedCtx[a] = v
+	}
+	for a, v := range sc.Context {
+		c.pinnedCtx[a] = v
+	}
+
+	// Keep base selectors, dropping context pins the query overrides
+	// (their asserted value disagrees with the query's); those atoms are
+	// re-pinned below under fresh selectors.
+	c.selectors = make([]selector, 0,
+		len(base.selectors)+len(sc.Context)+len(sc.Require)+len(sc.PinnedSystems)+len(sc.ForbiddenSystems))
+	covered := make(map[string]bool)
+	for _, s := range base.selectors {
+		if atom, isCtx := strings.CutPrefix(s.name, "context:"); isCtx {
+			if c.pinnedCtx[atom] != base.pinnedCtx[atom] {
+				continue
+			}
+			covered[atom] = true
+		}
+		c.selectors = append(c.selectors, s)
+	}
+	names := make(map[string]bool, len(c.selectors))
+	for _, s := range c.selectors {
+		names[s.name] = true
+	}
+	// add registers one query-scope selector: a fresh solver variable sel
+	// with the clause sel → implied (or the unit ¬sel when nothing can
+	// satisfy the group). Duplicate names collapse, matching the base
+	// compiler's addSelector behavior.
+	add := func(name, note string, implied ...sat.Lit) {
+		if names[name] {
+			return
+		}
+		names[name] = true
+		sel := sat.Lit(c.solver.NewVar())
+		c.selectors = append(c.selectors, selector{name: name, note: note, lit: sel})
+		c.solver.AddClause(append([]sat.Lit{sel.Flip()}, implied...)...)
+	}
+
+	// Context atoms the base does not assert: query additions + overrides.
+	atoms := make([]string, 0, len(c.pinnedCtx))
+	for a := range c.pinnedCtx {
+		if !covered[a] {
+			atoms = append(atoms, a)
+		}
+	}
+	sort.Strings(atoms)
+	for _, a := range atoms {
+		f := c.ctxLit(a)
+		if !c.pinnedCtx[a] {
+			f = f.Flip()
+		}
+		add("context:"+a, fmt.Sprintf("environment fact: %s=%v", a, c.pinnedCtx[a]), f)
+	}
+
+	// Architect requirements. A property nothing in the KB provides gets
+	// an unconditionally violated selector (the base asserted ¬prop for
+	// workload needs; for query-only requires the unit ¬sel is equivalent
+	// and keeps the MUS pointing at the require group).
+	for _, p := range sc.Require {
+		name := fmt.Sprintf("require:%s", p)
+		note := fmt.Sprintf("architect requires %s", p)
+		if c.provides[p] {
+			add(name, note, sat.Lit(c.vocab.Lookup("prop:"+string(p))))
+		} else {
+			add(name, note)
+		}
+	}
+
+	// Pinned and forbidden systems.
+	for _, s := range sc.PinnedSystems {
+		add("pin:system:"+s, fmt.Sprintf("architect pinned %s as deployed", s), c.systemLit(s))
+	}
+	for _, s := range sc.ForbiddenSystems {
+		add("forbid:system:"+s, fmt.Sprintf("architect forbade %s", s), c.systemLit(s).Flip())
+	}
+	return c
+}
+
+// ctxLit returns the literal for a context atom, allocating a private
+// solver variable for atoms absent from the frozen base vocabulary.
+func (c *compiled) ctxLit(atom string) sat.Lit {
+	if v := c.vocab.Lookup("ctx:" + atom); v != 0 {
+		return sat.Lit(v)
+	}
+	if l, ok := c.extraCtx[atom]; ok {
+		return l
+	}
+	l := sat.Lit(c.solver.NewVar())
+	if c.extraCtx == nil {
+		c.extraCtx = make(map[string]sat.Lit)
+	}
+	c.extraCtx[atom] = l
+	return l
+}
+
+// systemLit returns the literal for a system name, allocating a private
+// solver variable for names unknown to the KB (so pinning and forbidding
+// the same unknown system still conflict, as they always did).
+func (c *compiled) systemLit(name string) sat.Lit {
+	if l, ok := c.sysLit[name]; ok {
+		return l
+	}
+	if l, ok := c.extraSys[name]; ok {
+		return l
+	}
+	l := sat.Lit(c.solver.NewVar())
+	if c.extraSys == nil {
+		c.extraSys = make(map[string]sat.Lit)
+	}
+	c.extraSys[name] = l
+	return l
+}

@@ -38,6 +38,21 @@ type compiled struct {
 	workloads []*kb.Workload
 	pinnedCtx map[string]bool // context atoms with known values
 
+	// derivedCtx is the workload-derived slice of pinnedCtx (before any
+	// scenario Context overlay); specialize() rebuilds a query's pinnedCtx
+	// from it. provides records which properties some system solves, so
+	// query-time Require groups know whether a property is satisfiable at
+	// all. Both are populated at base-compile time and read-only after.
+	derivedCtx map[string]bool
+	provides   map[kb.Property]bool
+
+	// extraCtx / extraSys hold query-time variables for context atoms and
+	// system names absent from the base vocabulary (the vocabulary is
+	// frozen and shared across clones, so late names get private solver
+	// variables instead).
+	extraCtx map[string]sat.Lit
+	extraSys map[string]sat.Lit
+
 	// frozen is set once the boolean CNF has been handed to the solver;
 	// from then on the solver is the only variable allocator (the
 	// vocabulary's index space is fixed), so later selectors must come
@@ -67,16 +82,21 @@ var exclusiveRoles = map[kb.Role]bool{
 	kb.RoleLoadBalancer:      true,
 }
 
-// compile lowers the KB + scenario into a solver instance.
-func (e *Engine) compile(sc *Scenario) (*compiled, error) {
+// compileBase lowers the KB + scenario into a solver instance. With the
+// compiled-base cache this runs on a stripped "shape" scenario (see
+// baseShape) and the result is frozen: the instance is simplified once
+// and thereafter only cloned, never solved or mutated. Query-specific
+// requirements are layered on by specialize().
+func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 	c := &compiled{
-		kb:        e.kb,
-		sc:        sc,
-		vocab:     logic.NewVocabulary(),
-		sysLit:    make(map[string]sat.Lit),
-		hwLit:     make(map[string]sat.Lit),
-		selByName: make(map[string]int),
-		pinnedCtx: make(map[string]bool),
+		kb:         e.kb,
+		sc:         sc,
+		vocab:      logic.NewVocabulary(),
+		sysLit:     make(map[string]sat.Lit),
+		hwLit:      make(map[string]sat.Lit),
+		selByName:  make(map[string]int),
+		pinnedCtx:  make(map[string]bool),
+		derivedCtx: make(map[string]bool),
 	}
 	c.cv = logic.NewConverter(c.vocab)
 
@@ -117,6 +137,9 @@ func (e *Engine) compile(sc *Scenario) (*compiled, error) {
 	c.arith = intlin.New(c.solver)
 	c.resourceConstraints()
 	c.costModel()
+	// One inprocessing pass pays off across every clone of this base (and
+	// runs on the cache-off path too, so both paths stay byte-identical).
+	c.solver.Simplify()
 	return c, nil
 }
 
@@ -144,19 +167,22 @@ func (c *compiled) pickWorkloads() error {
 func (c *compiled) deriveContext() {
 	for _, w := range c.workloads {
 		for _, p := range w.Properties {
-			c.pinnedCtx[p] = true
+			c.derivedCtx[p] = true
 		}
 		c.totalKFlows += w.KFlows
 		if w.PeakBandwidthGbps > c.maxPeakBW {
 			c.maxPeakBW = w.PeakBandwidthGbps
 		}
 	}
-	if _, set := c.pinnedCtx["load_ge_40gbps"]; !set {
+	if _, set := c.derivedCtx["load_ge_40gbps"]; !set {
 		if _, userSet := c.sc.Context["load_ge_40gbps"]; !userSet {
-			c.pinnedCtx["load_ge_40gbps"] = c.maxPeakBW >= 40
+			c.derivedCtx["load_ge_40gbps"] = c.maxPeakBW >= 40
 		}
 	}
 	// Scenario pins override workload-derived values.
+	for atom, v := range c.derivedCtx {
+		c.pinnedCtx[atom] = v
+	}
 	for atom, v := range c.sc.Context {
 		c.pinnedCtx[atom] = v
 	}
@@ -293,8 +319,16 @@ func (c *compiled) capabilityDefinitions() {
 				}
 			}
 		}
-		for cap, providers := range caps[kind] {
-			c.cv.Assert(logic.Iff(logic.V(c.capVar(kind, cap)), logic.Or(providers...)))
+		// Sorted: assertion order allocates cap variables, and compilation
+		// must be deterministic for the base cache's differential guarantee.
+		names := make([]string, 0, len(caps[kind]))
+		for cap := range caps[kind] {
+			names = append(names, string(cap))
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cap := kb.Capability(name)
+			c.cv.Assert(logic.Iff(logic.V(c.capVar(kind, cap)), logic.Or(caps[kind][cap]...)))
 		}
 	}
 }
@@ -447,6 +481,10 @@ func (c *compiled) propertyDefinitions() {
 			provides[p] = append(provides[p], contrib)
 		}
 	}
+	c.provides = make(map[kb.Property]bool, len(provides))
+	for p := range provides {
+		c.provides[p] = true
+	}
 	props := make([]string, 0, len(provides))
 	for p := range provides {
 		props = append(props, string(p))
@@ -467,10 +505,16 @@ func (c *compiled) propertyDefinitions() {
 	for _, p := range c.sc.Require {
 		needed[p] = true
 	}
+	// Sorted for deterministic variable allocation (see capabilityDefinitions).
+	missing := make([]string, 0, len(needed))
 	for p := range needed {
 		if _, ok := provides[p]; !ok {
-			c.cv.Assert(logic.Not(logic.V(c.propVar(p))))
+			missing = append(missing, string(p))
 		}
+	}
+	sort.Strings(missing)
+	for _, p := range missing {
+		c.cv.Assert(logic.Not(logic.V(c.propVar(kb.Property(p)))))
 	}
 }
 
@@ -603,42 +647,16 @@ func (c *compiled) performanceBounds() error {
 
 // resolveOrder resolves a KB order dimension under the pinned context
 // (unpinned atoms are treated as false — conservative: only edges whose
-// guards are entailed by known facts apply).
+// guards are entailed by known facts apply). Resolution happens over a
+// private vocabulary (kb.OrderSpec.Resolve), never the shared one: this
+// also runs at query time (orderPenaltyLits), where the base vocabulary
+// is frozen and shared across concurrent queries.
 func (c *compiled) resolveOrder(dimension string) (*order.Resolved, error) {
 	spec := c.kb.OrderByDimension(dimension)
 	if spec == nil {
 		return nil, nil
 	}
-	g := order.New(dimension)
-	compileGuard := func(e *kb.Expr) (logic.Formula, error) {
-		if e == nil {
-			return logic.True, nil
-		}
-		return e.Compile(c.vocab.Get)
-	}
-	for _, e := range spec.Edges {
-		f, err := compileGuard(e.Guard)
-		if err != nil {
-			return nil, err
-		}
-		if err := g.AddEdge(e.Better, e.Worse, f, e.Note); err != nil {
-			return nil, err
-		}
-	}
-	for _, e := range spec.Equals {
-		f, err := compileGuard(e.Guard)
-		if err != nil {
-			return nil, err
-		}
-		if err := g.AddEqual(e.A, e.B, f, e.Note); err != nil {
-			return nil, err
-		}
-	}
-	ctx := order.Context{}
-	for atom, v := range c.pinnedCtx {
-		ctx[c.ctxVar(atom)] = v
-	}
-	return g.Resolve(ctx)
+	return spec.Resolve(c.pinnedCtx)
 }
 
 // resourceConstraints adds the arithmetic budgets (§3.1's accurately
@@ -833,6 +851,18 @@ func (c *compiled) costModel() {
 	}
 }
 
+// selectorLit returns the literal of the selector registered under name.
+// Specialized instances carry no name index (selByName stays base-side),
+// so this scans; it is used by tests and diagnostics, not hot paths.
+func (c *compiled) selectorLit(name string) (sat.Lit, bool) {
+	for _, s := range c.selectors {
+		if s.name == name {
+			return s.lit, true
+		}
+	}
+	return 0, false
+}
+
 // assumptions returns all selector literals.
 func (c *compiled) assumptions() []sat.Lit {
 	out := make([]sat.Lit, len(c.selectors))
@@ -863,12 +893,16 @@ func (c *compiled) designFromModel() *Design {
 			d.Hardware[h.Kind] = h.Name
 		}
 	}
-	// Context atoms: every vocab name with the ctx: prefix.
+	// Context atoms: every vocab name with the ctx: prefix, plus any
+	// query-time atoms that live outside the frozen vocabulary.
 	for i := 1; i <= c.vocab.Len(); i++ {
 		name := c.vocab.Name(logic.Var(i))
 		if len(name) > 4 && name[:4] == "ctx:" {
 			d.Context[name[4:]] = model[i-1]
 		}
+	}
+	for atom, l := range c.extraCtx {
+		d.Context[atom] = model[l.Var()-1]
 	}
 	d.Metrics["cores_used"] = intlin.ValueOf(c.coresUsed, model)
 	d.Metrics["cores_total"] = intlin.ValueOf(c.coresTotal, model)

@@ -4,17 +4,30 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"netarch/internal/kb"
 	"netarch/internal/sat"
 )
 
 // Engine is the reasoning engine over one knowledge base. It is cheap to
-// construct; each query compiles a fresh solver instance, so an Engine is
-// safe for concurrent queries.
+// construct and safe for concurrent queries: compilation is amortized
+// through a compiled-base cache (see cache.go) guarded by a RWMutex, and
+// every query solves against a private clone of the cached base, so
+// goroutines never share mutable solver state. Use CacheStats,
+// SetCacheCapacity and InvalidateCache to observe and control the cache.
 type Engine struct {
 	kb    *kb.KB
 	fault func(sat.FaultEvent, sat.Stats) bool
+
+	// Compiled-base cache: scenario-shape fingerprint → frozen instance.
+	// baseOrder tracks insertion for FIFO eviction at cacheCap entries.
+	mu        sync.RWMutex
+	bases     map[string]*compiled
+	baseOrder []string
+	cacheCap  int
+	hits      int64
+	misses    int64
 }
 
 // New validates the knowledge base and returns an engine over it.
@@ -22,7 +35,11 @@ func New(k *kb.KB) (*Engine, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{kb: k}, nil
+	return &Engine{
+		kb:       k,
+		bases:    make(map[string]*compiled),
+		cacheCap: DefaultCacheCapacity,
+	}, nil
 }
 
 // KB returns the engine's knowledge base.
@@ -53,7 +70,7 @@ func (e *Engine) SynthesizeCtx(ctx context.Context, sc Scenario, b Budget) (*Rep
 }
 
 func (e *Engine) run(ctx context.Context, query string, sc Scenario, b Budget) (*Report, error) {
-	c, err := e.compile(&sc)
+	c, err := e.instance(&sc)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +270,7 @@ func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
 // an error here: the partial result is returned with Truncated, Reason,
 // and Exhausted set, so callers can use what was found.
 func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budget) (*EnumerateResult, error) {
-	c, err := e.compile(&sc)
+	c, err := e.instance(&sc)
 	if err != nil {
 		return nil, err
 	}

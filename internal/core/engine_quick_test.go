@@ -103,7 +103,7 @@ func TestQuickExplanationsAreUnsatCores(t *testing.T) {
 		// Bias toward infeasibility.
 		sc.Context["deadline_tight"] = true
 		sc.Context["app_modifiable"] = false
-		c, err := e.compile(&sc)
+		c, err := e.instance(&sc)
 		if err != nil {
 			return false
 		}
@@ -118,11 +118,11 @@ func TestQuickExplanationsAreUnsatCores(t *testing.T) {
 		}
 		assumps := make([]sat.Lit, 0, len(ex.Conflicts))
 		for _, item := range ex.Conflicts {
-			idx, ok := c.selByName[item.Name]
+			l, ok := c.selectorLit(item.Name)
 			if !ok {
 				return false
 			}
-			assumps = append(assumps, c.selectors[idx].lit)
+			assumps = append(assumps, l)
 		}
 		if c.solver.SolveAssuming(assumps) != sat.Unsat {
 			t.Logf("explanation %v is not an unsat core", ex.Conflicts)

@@ -41,7 +41,7 @@ func (e *Engine) Optimize(sc Scenario, objectives []Objective) (*OptimizeResult,
 // not discard work. Only an exhaustion before any verdict yields
 // *ErrResourceExhausted.
 func (e *Engine) OptimizeCtx(ctx context.Context, sc Scenario, objectives []Objective, b Budget) (*OptimizeResult, error) {
-	c, err := e.compile(&sc)
+	c, err := e.instance(&sc)
 	if err != nil {
 		return nil, err
 	}

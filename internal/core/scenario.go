@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"netarch/internal/kb"
 )
@@ -89,6 +91,94 @@ type PerformanceBound struct {
 	// Strict requires strictly better (default: at least as good, i.e.
 	// the reference itself also qualifies).
 	Strict bool
+}
+
+// fingerprint returns a canonical string identifying the scenario for
+// compiled-base caching: two scenarios with equal fingerprints compile to
+// identical solver instances. Map-valued fields are serialized in sorted
+// key order; list-valued fields keep their order, because workload and
+// pin order determine selector order and hence the search trajectory.
+// Every string element is quoted so names containing separator characters
+// cannot collide.
+func (s *Scenario) fingerprint() string {
+	var b strings.Builder
+	writeList := func(tag string, items []string) {
+		b.WriteString(tag)
+		b.WriteByte('=')
+		for _, it := range items {
+			fmt.Fprintf(&b, "%q,", it)
+		}
+		b.WriteByte(';')
+	}
+	writeBoolMap := func(tag string, m map[string]bool) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(tag)
+		b.WriteByte('=')
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%q:%t,", k, m[k])
+		}
+		b.WriteByte(';')
+	}
+
+	writeList("w", s.Workloads)
+	fmt.Fprintf(&b, "ns=%d;nsw=%d;", s.numServers(), s.numSwitches())
+	writeBoolMap("ctx", s.Context)
+	reqs := make([]string, len(s.Require))
+	for i, p := range s.Require {
+		reqs[i] = string(p)
+	}
+	writeList("req", reqs)
+	writeList("pin", s.PinnedSystems)
+	writeList("forbid", s.ForbiddenSystems)
+
+	kinds := make([]string, 0, len(s.PinnedHardware))
+	for k := range s.PinnedHardware {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	b.WriteString("pinhw=")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%q:%q,", k, s.PinnedHardware[kb.HardwareKind(k)])
+	}
+	b.WriteByte(';')
+	kinds = kinds[:0]
+	for k := range s.AllowedHardware {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	b.WriteString("allowhw=")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%q:[", k)
+		for _, name := range s.AllowedHardware[kb.HardwareKind(k)] {
+			fmt.Fprintf(&b, "%q,", name)
+		}
+		b.WriteString("],")
+	}
+	b.WriteByte(';')
+
+	b.WriteString("bounds=")
+	for _, pb := range s.Bounds {
+		fmt.Fprintf(&b, "%q>%q/%t,", pb.Dimension, pb.Reference, pb.Strict)
+	}
+	fmt.Fprintf(&b, ";maxcost=%d;", s.MaxCostUSD)
+
+	if s.RackServers != nil {
+		racks := make([]string, 0, len(s.RackServers))
+		for r := range s.RackServers {
+			racks = append(racks, r)
+		}
+		sort.Strings(racks)
+		b.WriteString("racks=")
+		for _, r := range racks {
+			fmt.Fprintf(&b, "%q:%d,", r, s.RackServers[r])
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 func (s *Scenario) numServers() int {

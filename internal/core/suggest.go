@@ -70,7 +70,7 @@ func (e *Engine) Suggest(sc Scenario, max int) ([]*Suggestion, error) {
 // correction sets found so far are returned alongside the typed error —
 // partial suggestions are still useful.
 func (e *Engine) SuggestCtx(ctx context.Context, sc Scenario, max int, b Budget) ([]*Suggestion, error) {
-	c, err := e.compile(&sc)
+	c, err := e.instance(&sc)
 	if err != nil {
 		return nil, err
 	}

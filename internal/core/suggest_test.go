@@ -126,7 +126,10 @@ func TestDisambiguateUniqueSolution(t *testing.T) {
 func TestDisambiguateReportsForks(t *testing.T) {
 	e := mustEngine(t, miniKB())
 	sc := Scenario{Require: []kb.Property{"congestion_control"}}
-	d, err := e.Disambiguate(sc, 16)
+	// miniKB admits 48 design classes under this scenario; a limit above
+	// that makes the enumeration complete, so the fork contents are
+	// determined by the model set rather than the solver's search order.
+	d, err := e.Disambiguate(sc, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +168,8 @@ func TestDisambiguateRankableFork(t *testing.T) {
 		Edges:     []kb.OrderEdge{{Better: "dctcp", Worse: "cubic", Note: "ECN beats loss"}},
 	})
 	e := mustEngine(t, k)
-	d, err := e.Disambiguate(Scenario{Require: []kb.Property{"congestion_control"}}, 16)
+	// Limit 64 > 48 classes: complete enumeration, deterministic forks.
+	d, err := e.Disambiguate(Scenario{Require: []kb.Property{"congestion_control"}}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

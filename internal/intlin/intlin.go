@@ -54,6 +54,15 @@ func New(s Adder) *Builder {
 	return &Builder{s: s, trueLit: t}
 }
 
+// WithAdder returns a Builder emitting into s but reusing b's constant-
+// true literal instead of allocating a new one. It exists for solver
+// cloning: a clone already contains the original's pinned true variable,
+// so circuits built against the clone must reference the same literal.
+// s must contain b's variable space (a clone or the original itself).
+func (b *Builder) WithAdder(s Adder) *Builder {
+	return &Builder{s: s, trueLit: b.trueLit}
+}
+
 // True returns the builder's constant-true literal.
 func (b *Builder) True() sat.Lit { return b.trueLit }
 

@@ -6,7 +6,10 @@ import "sort"
 // and returns the clause (asserting literal first), the backjump level, and
 // the clause's LBD (number of distinct decision levels).
 func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel, lbd int) {
-	learnt = append(learnt, 0) // placeholder for the asserting literal
+	// learnt grows in the recycled learntBuf; callers (recordLearnt,
+	// logLearnt) copy before storing, so the buffer is free again by the
+	// next conflict.
+	learnt = append(s.learntBuf[:0], 0) // placeholder for the asserting literal
 	counter := 0
 	var p lit
 	havePath := false
@@ -73,17 +76,26 @@ func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel, lbd int) {
 		backLevel = int(s.level[learnt[1].v()])
 	}
 
-	// LBD: distinct decision levels among the learnt literals.
-	levels := make(map[int32]struct{}, len(learnt))
+	// LBD: distinct decision levels among the learnt literals, counted
+	// with a generation-stamped per-level scratch slice (no map).
+	s.lbdGen++
+	lbd = 0
 	for _, q := range learnt {
-		levels[s.level[q.v()]] = struct{}{}
+		lv := int(s.level[q.v()])
+		if lv >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, make([]uint64, lv+1-len(s.lbdStamp))...)
+		}
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			lbd++
+		}
 	}
-	lbd = len(levels)
 
 	// Clear seen flags for the literals we kept.
 	for _, q := range learnt {
 		s.seen[q.v()] = 0
 	}
+	s.learntBuf = learnt // retain the (possibly grown) backing array
 	return learnt, backLevel, lbd
 }
 

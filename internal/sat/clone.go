@@ -1,0 +1,152 @@
+package sat
+
+// Clone returns a deep copy of the solver that shares no mutable state
+// with the original: the clause database (problem and learnt clauses),
+// watch lists, trail, and heuristic state (VSIDS activities, order heap,
+// saved phases, clause activities) are all copied verbatim, so a clone
+// continues exactly where the original stands and two clones of the same
+// solver run identical searches. Cloning is the mechanism behind compiled-
+// base caching: compile (and Simplify) once, then hand every query its
+// own private snapshot.
+//
+// Clone may only be called at decision level 0 (i.e. not from inside a
+// Solve callback); it panics otherwise. The copy deliberately resets
+// per-run state rather than inheriting it:
+//
+//   - Stats are zeroed: a clone accounts for its own work only.
+//   - Work budgets (SetBudget) and the last StopCause are cleared.
+//   - A pending Interrupt is NOT inherited — the clone is runnable even
+//     if the original was stopped; likewise any Watch watchdog keeps
+//     targeting the original only.
+//   - An attached DRAT proof is NOT cloned: proofs record one solver's
+//     derivation history and would be unsound spliced onto another.
+//     Call AttachProof on the clone before its first Solve if needed.
+//   - The fault hook (Options.FaultHook) IS carried over, like every
+//     other option; use SetFaultHook on the clone to change it.
+func (s *Solver) Clone() *Solver {
+	if s.decisionLevel() != 0 {
+		panic("sat: Clone called above decision level 0")
+	}
+	// Clone leaves forwarding marks (clause.cloneIdx) in the source
+	// clauses while it runs; serialize so concurrent clones of one
+	// solver — the compiled-base cache clones a shared base from many
+	// query goroutines — never see each other's marks.
+	s.cloneMu.Lock()
+	defer s.cloneMu.Unlock()
+	n := &Solver{
+		opts:         s.opts,
+		nVars:        s.nVars,
+		qhead:        s.qhead,
+		varInc:       s.varInc,
+		claInc:       s.claInc,
+		okay:         s.okay,
+		maxLearnts:   s.maxLearnts,
+		learntGrowth: s.learntGrowth,
+		restartBase:  s.restartBase,
+	}
+
+	// Deleted clauses are detached lazily, so watch lists and reasons may
+	// reference clauses that are in neither s.clauses nor s.learnts; the
+	// memoized cloneClause maps those on demand, preserving identity.
+	// Memoization uses forwarding marks written into the source clauses
+	// (cloneIdx = 1+index into dsts, reset before returning) rather than a
+	// pointer map — on an 80k-clause base the map's inserts and lookups
+	// were the bulk of Clone's cost. Clause structs and their literal
+	// arrays come from two slabs sized for the live database (one
+	// allocation each instead of two per clause); lazily-discovered
+	// stragglers fall back to the heap.
+	nClauses := len(s.clauses) + len(s.learnts)
+	nLits := 0
+	for _, c := range s.clauses {
+		nLits += len(c.lits)
+	}
+	for _, c := range s.learnts {
+		nLits += len(c.lits)
+	}
+	clauseSlab := make([]clause, nClauses)
+	litSlab := make([]lit, nLits)
+	srcs := make([]*clause, 0, nClauses)
+	dsts := make([]*clause, 0, nClauses)
+	cloneClause := func(c *clause) *clause {
+		if c == nil {
+			return nil
+		}
+		if c.cloneIdx != 0 {
+			return dsts[c.cloneIdx-1]
+		}
+		var d *clause
+		if len(clauseSlab) > 0 {
+			d = &clauseSlab[0]
+			clauseSlab = clauseSlab[1:]
+		} else {
+			d = new(clause)
+		}
+		if len(c.lits) <= len(litSlab) {
+			// Full-slice cap: runtime appends (there are none on clause
+			// lits, but belt and braces) can never bleed into a neighbor.
+			d.lits = litSlab[:len(c.lits):len(c.lits)]
+			litSlab = litSlab[len(c.lits):]
+			copy(d.lits, c.lits)
+		} else {
+			d.lits = append([]lit(nil), c.lits...)
+		}
+		d.learnt = c.learnt
+		d.deleted = c.deleted
+		d.activity = c.activity
+		d.lbd = c.lbd
+		srcs = append(srcs, c)
+		dsts = append(dsts, d)
+		c.cloneIdx = int32(len(dsts))
+		return d
+	}
+	n.clauses = make([]*clause, len(s.clauses))
+	for i, c := range s.clauses {
+		n.clauses[i] = cloneClause(c)
+	}
+	n.learnts = make([]*clause, len(s.learnts))
+	for i, c := range s.learnts {
+		n.learnts[i] = cloneClause(c)
+	}
+	// Watch lists are copied verbatim rather than re-attached: their order
+	// determines propagation order, and a clone must search identically.
+	// One watcher slab backs every list; full-slice caps keep runtime
+	// appends (watch moves) from bleeding across lists.
+	nWatchers := 0
+	for _, ws := range s.watches {
+		nWatchers += len(ws)
+	}
+	watcherSlab := make([]watcher, nWatchers)
+	n.watches = make([][]watcher, len(s.watches))
+	for i, ws := range s.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		nw := watcherSlab[:len(ws):len(ws)]
+		watcherSlab = watcherSlab[len(ws):]
+		for j, w := range ws {
+			nw[j] = watcher{c: cloneClause(w.c), blocker: w.blocker}
+		}
+		n.watches[i] = nw
+	}
+	n.reason = make([]*clause, len(s.reason))
+	for i, c := range s.reason {
+		n.reason[i] = cloneClause(c)
+	}
+
+	// Reset the forwarding marks so the source is pristine for the next
+	// Clone (and so a clone of the clone starts unmarked — the slab
+	// structs were zeroed on allocation and marked only via srcs).
+	for _, c := range srcs {
+		c.cloneIdx = 0
+	}
+
+	n.assigns = append([]lbool(nil), s.assigns...)
+	n.level = append([]int32(nil), s.level...)
+	n.polarity = append([]bool(nil), s.polarity...)
+	n.trail = append([]lit(nil), s.trail...)
+	n.trailLim = append([]int(nil), s.trailLim...)
+	n.activity = append([]float64(nil), s.activity...)
+	n.order = s.order.clone(&n.activity)
+	n.seen = make([]byte, len(s.seen))
+	return n
+}

@@ -13,6 +13,16 @@ func newVarHeap(activity *[]float64) *varHeap {
 	return &varHeap{activity: activity}
 }
 
+// clone deep-copies the heap, rebinding it to the given activity slice
+// (the clone's own, so later bumps don't couple the two solvers).
+func (h *varHeap) clone(activity *[]float64) *varHeap {
+	return &varHeap{
+		activity: activity,
+		heap:     append([]int(nil), h.heap...),
+		indices:  append([]int(nil), h.indices...),
+	}
+}
+
 func (h *varHeap) less(a, b int) bool {
 	act := *h.activity
 	return act[a] > act[b]

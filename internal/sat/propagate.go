@@ -9,8 +9,11 @@ func (s *Solver) propagate() *clause {
 		s.qhead++
 		s.stats.Propagations++
 
+		// The watch list is compacted in place with a lagging write index;
+		// while no watcher has been dropped or rewritten (n == i, the
+		// common case: blockers true), entries are not rewritten at all.
 		ws := s.watches[p]
-		kept := ws[:0]
+		n := 0
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
 			if w.c.deleted {
@@ -18,7 +21,10 @@ func (s *Solver) propagate() *clause {
 			}
 			// Fast path: blocker already true.
 			if s.value(w.blocker) == lTrue {
-				kept = append(kept, w)
+				if n != i {
+					ws[n] = w
+				}
+				n++
 				continue
 			}
 			c := w.c
@@ -29,7 +35,8 @@ func (s *Solver) propagate() *clause {
 			}
 			first := c.lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				kept = append(kept, watcher{c, first})
+				ws[n] = watcher{c, first}
+				n++
 				continue
 			}
 			// Look for a new literal to watch.
@@ -46,17 +53,18 @@ func (s *Solver) propagate() *clause {
 				continue // watcher moved elsewhere
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
+			ws[n] = watcher{c, first}
+			n++
 			if s.value(first) == lFalse {
 				// Conflict: keep remaining watchers, restore list.
-				kept = append(kept, ws[i+1:]...)
-				s.watches[p] = kept
+				n += copy(ws[n:], ws[i+1:])
+				s.watches[p] = ws[:n]
 				s.qhead = len(s.trail)
 				return c
 			}
 			s.uncheckedEnqueue(first, c)
 		}
-		s.watches[p] = kept
+		s.watches[p] = ws[:n]
 	}
 	return nil
 }

@@ -68,14 +68,20 @@ func (s *Solver) Simplify() int {
 	}
 	s.compactClauses()
 
-	// Pass 2: subsumption + self-subsuming resolution, using signature
-	// filtering. Clauses sorted by length so subsumers come first.
+	// Pass 2: backward subsumption + self-subsuming resolution with
+	// signature filtering. Instead of testing all clause pairs (quadratic
+	// in the clause count, which dominates compile time at full-catalog
+	// scale), each candidate subsumer is tested only against clauses
+	// sharing its least-occurring variable — any clause it subsumes (or
+	// strengthens) must contain that variable in one polarity or the
+	// other, so the occurrence list is a complete candidate set.
 	type entry struct {
 		c   *clause
 		sig uint64
 		set map[lit]bool
 	}
 	var entries []entry
+	occ := make([][]int32, s.nVars) // var → indices of entries containing it
 	for _, c := range s.clauses {
 		if c.deleted {
 			continue
@@ -85,21 +91,26 @@ func (s *Solver) Simplify() int {
 		for _, l := range c.lits {
 			sig |= 1 << (uint(l.v()) % 64)
 			set[l] = true
+			occ[l.v()] = append(occ[l.v()], int32(len(entries)))
 		}
 		entries = append(entries, entry{c, sig, set})
-	}
-	// Insertion-sort by clause length (small n per bucket in practice).
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0 && len(entries[j].c.lits) < len(entries[j-1].c.lits); j-- {
-			entries[j], entries[j-1] = entries[j-1], entries[j]
-		}
 	}
 	for i := 0; i < len(entries); i++ {
 		small := entries[i]
 		if small.c.deleted {
 			continue
 		}
-		for j := i + 1; j < len(entries); j++ {
+		// Probe via the variable with the shortest occurrence list.
+		probe := small.c.lits[0].v()
+		for _, l := range small.c.lits[1:] {
+			if len(occ[l.v()]) < len(occ[probe]) {
+				probe = l.v()
+			}
+		}
+		for _, j := range occ[probe] {
+			if int(j) == i {
+				continue
+			}
 			big := entries[j]
 			if big.c.deleted || len(big.c.lits) < len(small.c.lits) {
 				continue

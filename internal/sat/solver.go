@@ -16,6 +16,7 @@ package sat
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Lit is a DIMACS-style literal: +v or -v for variable v ≥ 1.
@@ -147,9 +148,15 @@ func boolToLbool(b bool) lbool {
 
 // clause is a problem or learnt clause.
 type clause struct {
-	lits     []lit
-	learnt   bool
-	deleted  bool
+	lits    []lit
+	learnt  bool
+	deleted bool
+	// cloneIdx is Clone's forwarding mark: while a Clone is in progress it
+	// holds 1+index of this clause's copy, and it is reset to 0 before
+	// Clone returns. It fits in the struct's padding, and Clone serializes
+	// on Solver.cloneMu so concurrent clones of one solver never race on
+	// it.
+	cloneIdx int32
 	activity float64
 	lbd      int
 }
@@ -190,7 +197,16 @@ type Solver struct {
 
 	seen      []byte
 	transient []uint32 // vars marked seen by redundant(); cleared per conflict
-	okay      bool     // false once a top-level contradiction is recorded
+
+	// Scratch buffers recycled across calls so the hot path stays
+	// allocation-free: learntBuf backs analyze's learnt clause (copied out
+	// before being stored), lbdStamp/lbdGen count distinct decision levels
+	// without a per-conflict map, and addBuf backs AddClause normalization.
+	learntBuf []lit
+	lbdStamp  []uint64
+	lbdGen    uint64
+	addBuf    []lit
+	okay      bool // false once a top-level contradiction is recorded
 	model     []bool
 	conflict  []Lit // final conflict clause (negated assumptions subset)
 
@@ -207,6 +223,12 @@ type Solver struct {
 	proof *Proof // non-nil when DRAT logging is attached
 
 	stop stopFlag // set by Interrupt; polled at conflict boundaries
+
+	// cloneMu serializes Clone calls on this solver: Clone leaves
+	// transient forwarding marks in the source clause structs (see
+	// clause.cloneIdx), so two concurrent clones of one solver must not
+	// interleave. Clones of different solvers never contend.
+	cloneMu sync.Mutex
 
 	// Per-call work budgets (absolute caps against stats; 0 = none) and
 	// the reason the last Solve returned Unknown. See SetBudget/StopCause.
@@ -297,28 +319,47 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	s.EnsureVars(maxVar)
 
 	// Normalize: drop false/duplicate literals, detect satisfied or
-	// tautological clauses.
-	norm := make([]lit, 0, len(lits))
-	seen := make(map[lit]bool, len(lits))
+	// tautological clauses. Duplicate detection marks s.seen with a bit
+	// per polarity (1 positive, 2 negative); all marks are cleared before
+	// any return. s.seen is all-zero here: AddClause runs at level 0,
+	// never from inside analyze.
+	norm := s.addBuf[:0]
+	trivial := false // satisfied at level 0, or a tautology
 	shrunk := false
 	for _, ext := range lits {
 		l := toInternal(ext)
 		switch s.value(l) {
 		case lTrue:
-			return true // already satisfied at level 0
+			trivial = true
 		case lFalse:
 			shrunk = true
 			continue // falsified at level 0: drop
 		}
-		if seen[l.flip()] {
-			return true // tautology
+		if trivial {
+			break
 		}
-		if seen[l] {
+		v := l.v()
+		bit := byte(1)
+		if l.sign() {
+			bit = 2
+		}
+		if s.seen[v]&(bit^3) != 0 {
+			trivial = true // tautology
+			break
+		}
+		if s.seen[v]&bit != 0 {
 			shrunk = true
 			continue
 		}
-		seen[l] = true
+		s.seen[v] |= bit
 		norm = append(norm, l)
+	}
+	for _, l := range norm {
+		s.seen[l.v()] = 0
+	}
+	s.addBuf = norm[:0]
+	if trivial {
+		return true
 	}
 	// Clauses shortened against level-0 units are RUP lemmas; record them
 	// so the proof checker sees the clause the solver actually uses.
@@ -339,7 +380,10 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: norm}
+	// Copy out of the scratch buffer: the stored clause owns its literals.
+	cl := make([]lit, len(norm))
+	copy(cl, norm)
+	c := &clause{lits: cl}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
@@ -624,13 +668,16 @@ func (s *Solver) cancelUntil(level int) {
 }
 
 // recordLearnt installs a learnt clause and asserts its first literal.
+// learnt may alias the analyze scratch buffer; the stored clause copies it.
 func (s *Solver) recordLearnt(learnt []lit, lbd int) {
 	s.stats.Learnts++
 	if len(learnt) == 1 {
 		s.uncheckedEnqueue(learnt[0], nil)
 		return
 	}
-	c := &clause{lits: learnt, learnt: true, lbd: lbd, activity: s.claInc}
+	lits := make([]lit, len(learnt))
+	copy(lits, learnt)
+	c := &clause{lits: lits, learnt: true, lbd: lbd, activity: s.claInc}
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.uncheckedEnqueue(learnt[0], c)

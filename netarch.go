@@ -70,8 +70,16 @@ type (
 
 // Re-exported engine types. See package core for details.
 type (
-	// Engine is the SAT-backed reasoning engine.
+	// Engine is the SAT-backed reasoning engine. It is safe for
+	// concurrent queries: compilation is amortized through a compiled-
+	// base cache and every query solves on a private clone, so repeated
+	// or parallel queries over the same scenario shape never recompile.
+	// Engine.CacheStats, Engine.SetCacheCapacity and
+	// Engine.InvalidateCache observe and control the cache.
 	Engine = core.Engine
+	// CacheStats reports the engine's compiled-base cache: size,
+	// capacity, and lifetime hit/miss counters.
+	CacheStats = core.CacheStats
 	// GreedyReasoner is the weak baseline of the §5.2 comparison.
 	GreedyReasoner = core.GreedyReasoner
 	// Scenario describes one query: context, fleet, requirements, pins.
