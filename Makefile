@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke clean
+.PHONY: build test vet race verify parallel-diff bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,16 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee /tmp/netarch-bench.txt
 	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > BENCH_PR2.json
 
+# parallel-diff pins the parallel-vs-sequential enumeration differential
+# (the DESIGN.md §8 determinism contract over the §5.1 queries) so the
+# gate names it even though `test` also covers it.
+parallel-diff:
+	$(GO) test -run='TestEnumerateParallel|TestEnumerateWorkerCountInvariance' -count=1 . ./internal/core
+
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
-# analysis, the race detector over every package, and a benchmark smoke
-# run.
-verify: build vet test race bench-smoke
+# analysis, the race detector over every package, the enumeration
+# determinism differential, and a benchmark smoke run.
+verify: build vet test race parallel-diff bench-smoke
 
 clean:
 	$(GO) clean ./...

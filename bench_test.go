@@ -4,8 +4,10 @@
 package netarch_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"netarch"
@@ -509,6 +511,60 @@ func BenchmarkRepeatedQueries(b *testing.B) {
 		b.ResetTimer()
 		loop(b, eng)
 	})
+}
+
+// BenchmarkEnumerateParallel measures a complete design-class enumeration
+// (uncapped, so the pool's cube partitioning actually runs) at one worker
+// versus the machine's CPU count. The space is constrained to the systems
+// of a few witness designs so the complete enumeration stays in benchmark
+// range; the cache is primed so compilation stays off the clock. On a
+// multicore machine the workers series should beat the sequential one;
+// the determinism contract guarantees both return identical designs.
+func BenchmarkEnumerateParallel(b *testing.B) {
+	k := catalog.CaseStudy()
+	k.Workloads = append(k.Workloads, catalog.BatchAnalyticsWorkload(), catalog.StorageWorkload())
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := netarch.Scenario{Workloads: []string{"inference_app"}, NumServers: 64}
+	// Constrain the space to the systems of three witness classes.
+	eng.SetWorkers(1)
+	seed, err := eng.EnumerateCtx(context.Background(), sc, 3, netarch.Budget{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, d := range seed.Designs {
+		for _, s := range d.Systems {
+			allowed[s] = true
+		}
+	}
+	for _, s := range k.Systems {
+		if !allowed[s.Name] {
+			sc.ForbiddenSystems = append(sc.ForbiddenSystems, s.Name)
+		}
+	}
+	if _, err := eng.EnumerateCtx(context.Background(), sc, 1, netarch.Budget{}); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.EnumerateCtx(context.Background(), sc, 1<<20, netarch.Budget{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Truncated || len(res.Designs) < 2 {
+					b.Fatalf("want a complete multi-class enumeration, got %d classes truncated=%v",
+						len(res.Designs), res.Truncated)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCompile measures scenario compilation alone (formula build +

@@ -60,6 +60,9 @@ Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
   -timeout D          wall-clock deadline for the query (e.g. 500ms, 2s)
   -max-conflicts N    solver conflict budget per phase (0 = unlimited)
   -max-decisions N    solver decision budget per phase (0 = unlimited)
+  -workers N          solver clones enumerating design classes in parallel
+                      (disambiguate/multi; 0 = one per CPU; results are
+                      identical whatever the worker count)
 
 Cache flags:
   -cache-stats        print compiled-base cache stats after the queries
@@ -224,6 +227,14 @@ func budgetFlags(fs *flag.FlagSet) (get func() netarch.Budget) {
 	}
 }
 
+// workersFlag registers -workers and returns an applier that sizes the
+// engine's enumeration pool. The determinism contract (DESIGN.md §8)
+// makes the flag a pure latency knob: output never depends on it.
+func workersFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine)) {
+	workers := fs.Int("workers", 0, "parallel enumeration workers (0 = one per CPU)")
+	return func(eng *netarch.Engine) { eng.SetWorkers(*workers) }
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -241,6 +252,7 @@ func cmdSolve(args []string, mode string) error {
 	fs := flag.NewFlagSet(mode, flag.ContinueOnError)
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
+	setWorkers := workersFlag(fs)
 	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,6 +274,7 @@ func cmdSolve(args []string, mode string) error {
 	if err != nil {
 		return err
 	}
+	setWorkers(eng)
 	switch mode {
 	case "synth":
 		rep, err := eng.SynthesizeCtx(ctx, sc, budget)
@@ -346,6 +359,7 @@ func cmdMulti(args []string) error {
 	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
+	setWorkers := workersFlag(fs)
 	rounds := fs.Int("rounds", 3, "rounds of synth+explain+optimize to run")
 	cacheStats := fs.Bool("cache-stats", true, "print compiled-base cache stats after the queries")
 	if err := fs.Parse(args); err != nil {
@@ -365,6 +379,7 @@ func cmdMulti(args []string) error {
 	if err != nil {
 		return err
 	}
+	setWorkers(eng)
 	for r := 1; r <= *rounds; r++ {
 		start := time.Now()
 		rep, err := eng.SynthesizeCtx(ctx, sc, budget)

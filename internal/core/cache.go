@@ -52,7 +52,7 @@ func (cs CacheStats) String() string {
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return CacheStats{Size: len(e.bases), Capacity: e.cacheCap, Hits: e.hits, Misses: e.misses}
+	return CacheStats{Size: len(e.bases), Capacity: e.cacheCap, Hits: e.hits.Load(), Misses: e.misses.Load()}
 }
 
 // InvalidateCache drops every cached compiled base. Call it after
@@ -129,16 +129,15 @@ func baseShape(sc *Scenario) Scenario {
 	return shape
 }
 
-// instance produces the per-query compiled instance: a cached (or fresh)
-// base specialized with the query's own selectors. With caching enabled
-// the query gets a private clone of the base solver; with it disabled the
-// freshly compiled base is used directly. Both paths flow through
-// compileBase + specialize, so cached and cold queries are byte-identical.
-func (e *Engine) instance(sc *Scenario) (*compiled, error) {
+// baseFor resolves the compiled base for a scenario's shape: a cached
+// (or freshly cached) frozen base when caching is enabled, a private
+// compile when it is disabled. shared reports whether other queries may
+// reference the base concurrently — callers must then solve against a
+// clone of base.solver, never the base solver itself.
+func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) {
 	shape := baseShape(sc)
 	e.mu.RLock()
 	enabled := e.cacheCap > 0
-	var base *compiled
 	var key string
 	if enabled {
 		key = shape.fingerprint()
@@ -147,24 +146,24 @@ func (e *Engine) instance(sc *Scenario) (*compiled, error) {
 	e.mu.RUnlock()
 
 	if !enabled {
-		base, err := e.compileBase(&shape)
+		base, err = e.compileBase(&shape)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return e.specialize(base, sc, base.solver), nil
+		return base, false, nil
 	}
 	if base != nil {
-		e.mu.Lock()
-		e.hits++
-		e.mu.Unlock()
-		return e.specialize(base, sc, base.solver.Clone()), nil
+		// The counters are atomic: warm queries must not serialize
+		// through the write lock just to be counted.
+		e.hits.Add(1)
+		return base, true, nil
 	}
 	fresh, err := e.compileBase(&shape)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	e.misses.Add(1)
 	e.mu.Lock()
-	e.misses++
 	if existing := e.bases[key]; existing != nil {
 		// Lost a compile race: adopt the stored base so every query over
 		// this shape clones the same instance.
@@ -179,7 +178,24 @@ func (e *Engine) instance(sc *Scenario) (*compiled, error) {
 		}
 	}
 	e.mu.Unlock()
-	return e.specialize(base, sc, base.solver.Clone()), nil
+	return base, true, nil
+}
+
+// instance produces the per-query compiled instance: a cached (or fresh)
+// base specialized with the query's own selectors. With caching enabled
+// the query gets a private clone of the base solver; with it disabled the
+// freshly compiled base is used directly. Both paths flow through
+// compileBase + specialize, so cached and cold queries are byte-identical.
+func (e *Engine) instance(sc *Scenario) (*compiled, error) {
+	base, shared, err := e.baseFor(sc)
+	if err != nil {
+		return nil, err
+	}
+	s := base.solver
+	if shared {
+		s = s.Clone()
+	}
+	return e.specialize(base, sc, s), nil
 }
 
 // specialize layers one query's requirements onto a compiled base:
@@ -199,6 +215,7 @@ func (e *Engine) specialize(base *compiled, sc *Scenario, solver *sat.Solver) *c
 		arith:       base.arith.WithAdder(solver),
 		sysLit:      base.sysLit,
 		hwLit:       base.hwLit,
+		sysNames:    base.sysNames,
 		workloads:   base.workloads,
 		derivedCtx:  base.derivedCtx,
 		provides:    base.provides,

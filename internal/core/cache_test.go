@@ -345,3 +345,38 @@ func TestCacheConcurrentQueries(t *testing.T) {
 		t.Error(msg)
 	}
 }
+
+func TestCacheHitCountingConcurrent(t *testing.T) {
+	// Regression for the hit-counter hot path: warm cache hits used to
+	// take the cache write lock just to bump an int, serializing every
+	// concurrent warm query (and, worse, contending with InvalidateCache).
+	// The counters are atomics now; this hammer asserts the exact lifetime
+	// totals under concurrency and gives the race detector a workload.
+	e := mustEngine(t, miniKB())
+	sc := Scenario{Context: map[string]bool{"pfc_enabled": true}}
+	if _, err := e.Synthesize(sc); err != nil { // prime: one miss
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := e.Synthesize(sc); err != nil {
+					t.Errorf("warm query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want exactly the priming compile", st.Misses)
+	}
+	if want := int64(goroutines * perG); st.Hits != want {
+		t.Errorf("Hits = %d, want %d (no lost updates)", st.Hits, want)
+	}
+}

@@ -31,6 +31,12 @@ type compiled struct {
 
 	sysLit map[string]sat.Lit
 	hwLit  map[string]sat.Lit
+	// sysNames is the sorted system vocabulary. Enumeration builds its
+	// blocking clauses, canonical pins, and cube assumptions by walking
+	// this slice so their literal order — and hence the solver's watch
+	// setup and search — is reproducible (map iteration over sysLit is
+	// not).
+	sysNames []string
 
 	selectors []selector
 	selByName map[string]int // name -> index in selectors
@@ -106,6 +112,11 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 	c.deriveContext()
 
 	c.declareVars()
+	c.sysNames = make([]string, 0, len(c.sysLit))
+	for name := range c.sysLit {
+		c.sysNames = append(c.sysNames, name)
+	}
+	sort.Strings(c.sysNames)
 	c.hardwareSelection()
 	c.capabilityDefinitions()
 	c.systemConstraints()

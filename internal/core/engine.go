@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"netarch/internal/kb"
 	"netarch/internal/sat"
@@ -22,12 +23,18 @@ type Engine struct {
 
 	// Compiled-base cache: scenario-shape fingerprint → frozen instance.
 	// baseOrder tracks insertion for FIFO eviction at cacheCap entries.
+	// The hit/miss counters are atomic so the warm path (a read lock and
+	// a counter bump) never serializes concurrent queries.
 	mu        sync.RWMutex
 	bases     map[string]*compiled
 	baseOrder []string
 	cacheCap  int
-	hits      int64
-	misses    int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+
+	// workers is the enumeration worker-pool size; 0 means the default,
+	// runtime.GOMAXPROCS(0) at query time. See SetWorkers.
+	workers atomic.Int32
 }
 
 // New validates the knowledge base and returns an engine over it.
@@ -226,95 +233,3 @@ func (e *Engine) ExplainCtx(ctx context.Context, sc Scenario, b Budget) (*Explan
 	return rep.Explanation, nil
 }
 
-// EnumerateResult is the outcome of a governed enumeration: the design
-// classes found, plus an explicit account of whether — and why — the
-// enumeration stopped before provably exhausting the space.
-type EnumerateResult struct {
-	Designs []*Design
-	// Truncated reports that enumeration stopped while more classes may
-	// exist: the class limit was hit or a resource budget tripped. A
-	// false Truncated means Designs is provably the complete set.
-	Truncated bool
-	// Reason is "limit" when the class cap stopped the enumeration, or
-	// the exhausted resource ("deadline", "conflict budget", ...).
-	Reason string
-	// Exhausted carries the typed resource error when a budget tripped
-	// (nil for "limit" truncation and for complete enumerations).
-	Exhausted *ErrResourceExhausted
-	// Spent is the total resource consumption of the enumeration.
-	Spent BudgetSpent
-}
-
-// Enumerate returns up to max distinct compliant designs, where designs
-// are distinguished by their deployed system set (hardware variations of
-// the same system set collapse into one equivalence class, per §6
-// "identify equivalence classes of system deployments"). If the solver
-// gives up mid-enumeration (only possible when a fault hook or budget is
-// armed), the partial designs are returned together with the typed
-// *ErrResourceExhausted — never silently.
-func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
-	res, err := e.EnumerateCtx(context.Background(), sc, max, Budget{})
-	if err != nil {
-		return nil, err
-	}
-	if res.Exhausted != nil {
-		// Propagate the giving-up status: callers must be able to tell
-		// "only these designs exist" from "the solver gave up".
-		return res.Designs, res.Exhausted
-	}
-	return res.Designs, nil
-}
-
-// EnumerateCtx is Enumerate under a context and resource budget. Each
-// design class gets a fresh phase allowance. Resource exhaustion is not
-// an error here: the partial result is returned with Truncated, Reason,
-// and Exhausted set, so callers can use what was found.
-func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budget) (*EnumerateResult, error) {
-	c, err := e.instance(&sc)
-	if err != nil {
-		return nil, err
-	}
-	g := govern(ctx, "enumerate", b, c.solver)
-	defer g.done()
-	res := &EnumerateResult{}
-	defer func() {
-		sort.Slice(res.Designs, func(i, j int) bool {
-			return fmt.Sprint(res.Designs[i].Systems) < fmt.Sprint(res.Designs[j].Systems)
-		})
-	}()
-	assumps := c.assumptions()
-	for len(res.Designs) < max {
-		g.phase() // fresh allowance per class
-		switch status := c.solver.SolveAssuming(assumps); status {
-		case sat.Sat:
-		case sat.Unsat:
-			// Space exhausted: the enumeration is complete.
-			res.Spent = g.spent()
-			return res, nil
-		default:
-			res.Truncated = true
-			res.Exhausted = g.exhausted()
-			res.Reason = res.Exhausted.Cause
-			res.Spent = res.Exhausted.Spent
-			return res, nil
-		}
-		d := c.designFromModel()
-		res.Designs = append(res.Designs, d)
-		// Block this system set (projection): at least one system var
-		// must differ.
-		block := make([]sat.Lit, 0, len(c.sysLit))
-		for name, l := range c.sysLit {
-			if d.HasSystem(name) {
-				block = append(block, l.Flip())
-			} else {
-				block = append(block, l)
-			}
-		}
-		c.solver.AddClause(block...)
-	}
-	// Stopped at the class cap: more classes may exist.
-	res.Truncated = true
-	res.Reason = "limit"
-	res.Spent = g.spent()
-	return res, nil
-}

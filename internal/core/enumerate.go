@@ -1,0 +1,664 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"netarch/internal/sat"
+)
+
+// This file implements design-class enumeration (§6 "identify equivalence
+// classes of system deployments") as a governed, parallel blocking-clause
+// loop. A pool of cloned solvers explores disjoint cubes of the class
+// space concurrently, a coordinator shares every admitted class's
+// blocking clause across the pool, and each class's reported Design is
+// re-solved canonically on a pristine clone — which is what makes the
+// result independent of the worker count and of scheduling. DESIGN.md §8
+// documents the determinism contract and its one capped-result caveat.
+
+// EnumerateResult is the outcome of a governed enumeration: the design
+// classes found, plus an explicit account of whether — and why — the
+// enumeration stopped before provably exhausting the space.
+//
+// Except under a budget trip, the result is deterministic: Designs
+// (content and order), Truncated, and Reason are a function of the
+// knowledge base, the scenario, and max alone — never of the worker
+// count (SetWorkers) or goroutine scheduling. Spent aggregates every
+// worker's consumption and is the one field that legitimately varies
+// from run to run.
+type EnumerateResult struct {
+	Designs []*Design
+	// Truncated reports that enumeration stopped while more classes may
+	// exist: the class limit was hit or a resource budget tripped. A
+	// false Truncated means Designs is provably the complete set.
+	Truncated bool
+	// Reason is "limit" when the class cap stopped the enumeration, or
+	// the exhausted resource ("deadline", "conflict budget", ...).
+	Reason string
+	// Exhausted carries the typed resource error when a budget tripped
+	// (nil for "limit" truncation and for complete enumerations).
+	Exhausted *ErrResourceExhausted
+	// Spent is the total resource consumption of the enumeration,
+	// summed across all worker, canonicalization, and probe solvers.
+	Spent BudgetSpent
+}
+
+// SetWorkers sets how many cloned solvers EnumerateCtx (and the queries
+// built on it, like DisambiguateCtx) may run concurrently. n <= 0
+// restores the default, runtime.GOMAXPROCS(0). The determinism contract
+// makes the result independent of this knob — it trades CPU for latency,
+// nothing else. Safe to call concurrently; queries in flight keep the
+// count they started with.
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers.Store(int32(n))
+}
+
+// Workers reports the configured enumeration worker count; 0 means the
+// default (runtime.GOMAXPROCS(0) at query time).
+func (e *Engine) Workers() int { return int(e.workers.Load()) }
+
+func (e *Engine) enumWorkers() int {
+	if n := int(e.workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Enumerate returns up to max distinct compliant designs, where designs
+// are distinguished by their deployed system set (hardware variations of
+// the same system set collapse into one equivalence class, per §6
+// "identify equivalence classes of system deployments"). If the solver
+// gives up mid-enumeration (only possible when a fault hook or budget is
+// armed), the partial designs are returned together with the typed
+// *ErrResourceExhausted — never silently.
+func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
+	res, err := e.EnumerateCtx(context.Background(), sc, max, Budget{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Exhausted != nil {
+		// Propagate the giving-up status: callers must be able to tell
+		// "only these designs exist" from "the solver gave up".
+		return res.Designs, res.Exhausted
+	}
+	return res.Designs, nil
+}
+
+// EnumerateCtx is Enumerate under a context and resource budget. Each
+// solve — one class discovery, one canonicalization — gets a fresh phase
+// allowance. Resource exhaustion is not an error here: the partial
+// result is returned with Truncated, Reason, and Exhausted set, so
+// callers can use what was found.
+//
+// Enumeration runs on a worker pool of solver clones (see SetWorkers):
+// the compiled instance is specialized once into a pristine template,
+// workers clone it and drain disjoint cubes of the class space, and a
+// coordinator shares each admitted class's blocking clause across the
+// pool so no worker re-derives another's class. Every admitted class is
+// then re-solved on a fresh clone with the class pinned, so the reported
+// Design is canonical — a function of the compiled instance, not of
+// discovery order. See EnumerateResult for the determinism contract.
+func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budget) (*EnumerateResult, error) {
+	base, shared, err := e.baseFor(&sc)
+	if err != nil {
+		return nil, err
+	}
+	solver := base.solver
+	if shared {
+		solver = solver.Clone()
+	}
+	g := newEnumGov(ctx, b)
+	defer g.done()
+	r := &enumRun{
+		g:   g,
+		tpl: e.specialize(base, &sc, solver),
+		co:  &enumCoord{max: max, seen: make(map[string]bool)},
+	}
+	return r.run(e.enumWorkers()), nil
+}
+
+// enumGov is the multi-solver analogue of governor: one query-global
+// watchdog (context deadline/cancel → interrupt on every registered
+// solver), per-phase budgets armed on whichever solver runs the phase,
+// spent accounting summed across all solvers, and first-trip-wins cause
+// recording. A budget trip cancels the shared context, which drains the
+// whole pool through the watchdog.
+type enumGov struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	budget Budget
+	start  time.Time
+	watch  *sat.WatchGroup
+
+	mu        sync.Mutex
+	conflicts int64
+	decisions int64
+	tripped   bool
+	cause     string
+	ctxErr    error
+}
+
+func newEnumGov(ctx context.Context, b Budget) *enumGov {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &enumGov{budget: b, start: time.Now()}
+	if b.Timeout > 0 {
+		g.ctx, g.cancel = context.WithTimeout(ctx, b.Timeout)
+	} else {
+		g.ctx, g.cancel = context.WithCancel(ctx)
+	}
+	g.watch = sat.WatchAll(g.ctx)
+	return g
+}
+
+// adopt places a solver under governance: registered with the shared
+// watchdog, to be interrupted when the context fires or another solver
+// trips. The returned release detaches it and folds its counters into
+// the aggregate spent; call it exactly once, after the solver's last
+// solve.
+func (g *enumGov) adopt(s *sat.Solver) (release func()) {
+	detach := g.watch.Add(s)
+	return func() {
+		detach()
+		st := s.Stats()
+		g.mu.Lock()
+		g.conflicts += st.Conflicts
+		g.decisions += st.Decisions
+		g.mu.Unlock()
+	}
+}
+
+// phase arms a fresh per-phase allowance on s. One discovery solve or
+// one canonicalization solve is one phase, matching the sequential
+// governor's per-class budget semantics; the wall-clock deadline is
+// query-global and never re-armed.
+func (g *enumGov) phase(s *sat.Solver) {
+	s.SetBudget(g.budget.MaxConflicts, g.budget.MaxDecisions)
+}
+
+// trip records the first budget trip and cancels the shared context so
+// the watchdog drains every other in-flight solver. Later trips are
+// echoes of that drain and keep the first cause.
+func (g *enumGov) trip(cause string, ctxErr error) {
+	g.mu.Lock()
+	if !g.tripped {
+		g.tripped = true
+		g.cause = cause
+		g.ctxErr = ctxErr
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// tripFrom classifies solver s's Unknown verdict and records the trip.
+func (g *enumGov) tripFrom(s *sat.Solver) {
+	cause, ctxErr := stopCause(s, g.ctx)
+	g.trip(cause, ctxErr)
+}
+
+// stopped reports whether discovery must halt because a budget tripped
+// or the shared context fired. A fired context is recorded as a trip
+// here too, so the result is labeled even when no solver happened to be
+// mid-solve at the time.
+func (g *enumGov) stopped() bool {
+	g.mu.Lock()
+	t := g.tripped
+	g.mu.Unlock()
+	if t {
+		return true
+	}
+	if err := g.ctx.Err(); err != nil {
+		cause := "canceled"
+		if err == context.DeadlineExceeded {
+			cause = "deadline"
+		}
+		g.trip(cause, err)
+		return true
+	}
+	return false
+}
+
+func (g *enumGov) hasTripped() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tripped
+}
+
+// spent reports the aggregate consumption: every released solver's
+// counters plus wall time. The final accounting runs after all solvers
+// are released, so nothing is lost.
+func (g *enumGov) spent() BudgetSpent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return BudgetSpent{
+		Conflicts: g.conflicts,
+		Decisions: g.decisions,
+		Wall:      time.Since(g.start),
+	}
+}
+
+// exhausted builds the typed error for the recorded trip.
+func (g *enumGov) exhausted() *ErrResourceExhausted {
+	g.mu.Lock()
+	cause, ctxErr := g.cause, g.ctxErr
+	g.mu.Unlock()
+	return &ErrResourceExhausted{Query: "enumerate", Cause: cause, Spent: g.spent(), ctxErr: ctxErr}
+}
+
+// done releases the watchdog. Call exactly once, when the query ends.
+func (g *enumGov) done() {
+	g.watch.Release()
+	g.cancel()
+}
+
+// enumClass is one admitted equivalence class: its (sorted) system set
+// and the design reported for it — the canonical model once
+// canonicalization succeeds, the discovery model if a budget tripped
+// first.
+type enumClass struct {
+	key     string
+	systems []string
+	design  *Design
+}
+
+func classKeyOf(systems []string) string { return strings.Join(systems, "\x00") }
+
+// enumCoord collects admitted classes under one lock. Workers propose
+// candidate classes with admit and import each other's blocking clauses
+// from snapshot, so no worker re-derives a class already found
+// elsewhere.
+type enumCoord struct {
+	max int
+
+	mu      sync.Mutex
+	seen    map[string]bool
+	classes []*enumClass
+	full    bool
+}
+
+// admit records a candidate class. cls is nil when the class was already
+// known or the cap had been reached; full reports that discovery is over
+// because max classes are now admitted.
+func (co *enumCoord) admit(d *Design) (cls *enumClass, full bool) {
+	key := classKeyOf(d.Systems)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.full || co.seen[key] {
+		return nil, co.full
+	}
+	cls = &enumClass{key: key, systems: d.Systems, design: d}
+	co.seen[key] = true
+	co.classes = append(co.classes, cls)
+	if len(co.classes) >= co.max {
+		co.full = true
+	}
+	return cls, co.full
+}
+
+func (co *enumCoord) snapshot() []*enumClass {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.classes[:len(co.classes):len(co.classes)]
+}
+
+func (co *enumCoord) isFull() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.full
+}
+
+// fork views the shared compilation artifacts over a private solver.
+// Everything else on a specialized compiled is read-only, so forks of
+// one template can solve concurrently.
+func (c *compiled) fork(s *sat.Solver) *compiled {
+	n := *c
+	n.solver = s
+	n.arith = c.arith.WithAdder(s)
+	return &n
+}
+
+// blockingClause is the clause forcing at least one system-set
+// difference from the given class. Literals follow the sorted system
+// vocabulary: clause literal order shapes the solver's watch setup and
+// hence its search, so map-order iteration here would make replayed
+// enumerations diverge.
+func (c *compiled) blockingClause(systems []string) []sat.Lit {
+	member := make(map[string]bool, len(systems))
+	for _, s := range systems {
+		member[s] = true
+	}
+	block := make([]sat.Lit, 0, len(c.sysNames))
+	for _, name := range c.sysNames {
+		l := c.sysLit[name]
+		if member[name] {
+			l = l.Flip()
+		}
+		block = append(block, l)
+	}
+	return block
+}
+
+// canonicalAssumptions pins exactly the given system set on top of the
+// query selectors. Solving a pristine clone under these assumptions
+// yields the class's canonical model: a deterministic function of the
+// compiled instance alone.
+func (c *compiled) canonicalAssumptions(systems []string) []sat.Lit {
+	member := make(map[string]bool, len(systems))
+	for _, s := range systems {
+		member[s] = true
+	}
+	out := c.assumptions()
+	for _, name := range c.sysNames {
+		l := c.sysLit[name]
+		if !member[name] {
+			l = l.Flip()
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// cubeAssumptions splits the class space into 2^k disjoint cubes — the
+// assignments of the first k sorted system variables — sized for about
+// two cubes per worker (so the pool load-balances) and capped at 64.
+// Every class satisfies exactly one cube, so parallel workers explore
+// disjoint regions and cannot race to re-derive one class.
+func cubeAssumptions(tpl *compiled, workers int) [][]sat.Lit {
+	k := 0
+	for 1<<k < 2*workers && k < len(tpl.sysNames) && k < 6 {
+		k++
+	}
+	cubes := make([][]sat.Lit, 1<<k)
+	for m := range cubes {
+		cube := make([]sat.Lit, k)
+		for b := 0; b < k; b++ {
+			l := tpl.sysLit[tpl.sysNames[b]]
+			if m&(1<<b) == 0 {
+				l = l.Flip()
+			}
+			cube[b] = l
+		}
+		cubes[m] = cube
+	}
+	return cubes
+}
+
+// enumRun is one enumeration query: the governor, the pristine template
+// (never solved — every solve happens on a clone of it, which is what
+// makes results worker-count-independent), and the coordinator.
+type enumRun struct {
+	g   *enumGov
+	tpl *compiled
+	co  *enumCoord
+}
+
+// run drives the enumeration: discovery (parallel over cubes when
+// workers > 1 and the projection is large enough to split), then the
+// deterministic finish.
+func (r *enumRun) run(workers int) *EnumerateResult {
+	res := &EnumerateResult{}
+	if r.co.max <= 0 {
+		// A non-positive cap admits nothing: a vacuous limit truncation,
+		// as the sequential loop always reported.
+		res.Truncated = true
+		res.Reason = "limit"
+		res.Spent = r.g.spent()
+		return res
+	}
+	if len(r.tpl.sysNames) == 0 {
+		return r.emptyProjection(res)
+	}
+	if workers <= 1 {
+		r.drain(oneCube())
+	} else {
+		cubes := cubeAssumptions(r.tpl, workers)
+		ch := make(chan []sat.Lit, len(cubes))
+		for _, cu := range cubes {
+			ch <- cu
+		}
+		close(ch)
+		n := workers
+		if n > len(cubes) {
+			n = len(cubes)
+		}
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func() {
+				defer wg.Done()
+				r.drain(ch)
+			}()
+		}
+		wg.Wait()
+	}
+	return r.finish(res, workers)
+}
+
+// oneCube is the degenerate cube list of the single-worker path: the
+// whole space, no splitting assumptions.
+func oneCube() <-chan []sat.Lit {
+	ch := make(chan []sat.Lit, 1)
+	ch <- nil
+	close(ch)
+	return ch
+}
+
+// drain is one worker: a private clone of the template draining cubes
+// until they run out or discovery stops. Each worker also keeps its own
+// pristine snapshot of the template to clone canonicalization solvers
+// from: a clone of a clone is the same snapshot, and per-worker sources
+// keep the pool off the template's clone lock.
+func (r *enumRun) drain(cubes <-chan []sat.Lit) {
+	c := r.tpl.fork(r.tpl.solver.Clone())
+	pristine := c.solver.Clone()
+	release := r.g.adopt(c.solver)
+	defer release()
+	blocked := make(map[string]bool)
+	for cube := range cubes {
+		if !r.solveCube(c, pristine, cube, blocked) {
+			return
+		}
+	}
+}
+
+// solveCube enumerates the classes inside one cube, admitting each to
+// the coordinator and canonicalizing it as soon as it is admitted.
+// Returns false when discovery must stop: cap reached, budget tripped,
+// or context fired. blocked tracks which classes this worker's solver
+// already carries blocking clauses for, across cubes.
+func (r *enumRun) solveCube(c *compiled, pristine *sat.Solver, cube []sat.Lit, blocked map[string]bool) bool {
+	assumps := c.assumptions()
+	assumps = append(assumps, cube...)
+	for {
+		if r.g.stopped() || r.co.isFull() {
+			return false
+		}
+		// Import blocking clauses for classes admitted elsewhere: the
+		// coordinator's shared list keeps workers from re-deriving each
+		// other's classes.
+		for _, cls := range r.co.snapshot() {
+			if !blocked[cls.key] {
+				blocked[cls.key] = true
+				c.solver.AddClause(c.blockingClause(cls.systems)...)
+			}
+		}
+		r.g.phase(c.solver)
+		switch c.solver.SolveAssuming(assumps) {
+		case sat.Sat:
+			d := c.designFromModel()
+			cls, full := r.co.admit(d)
+			if cls != nil {
+				if cd, ok := r.canonicalize(pristine, cls.systems); ok {
+					cls.design = cd
+				} else if r.g.hasTripped() {
+					// The budget tripped mid-canonicalization: the class
+					// keeps its discovery model and enumeration stops,
+					// labeled through the governor.
+					return false
+				}
+			}
+			if full {
+				return false
+			}
+			key := classKeyOf(d.Systems)
+			if !blocked[key] {
+				blocked[key] = true
+				c.solver.AddClause(c.blockingClause(d.Systems)...)
+			}
+		case sat.Unsat:
+			return true // cube exhausted; on to the next
+		default:
+			r.g.tripFrom(c.solver)
+			return false
+		}
+	}
+}
+
+// canonicalize re-solves the class on a fresh clone of the worker's
+// pristine template snapshot with exactly this system set pinned. A
+// clone is a verbatim snapshot and two clones of the same solver run
+// identical searches, so the model — and hence the Design — is a
+// deterministic function of the compiled instance, not of which worker
+// discovered the class or of what its solver had learned by then.
+func (r *enumRun) canonicalize(pristine *sat.Solver, systems []string) (*Design, bool) {
+	c := r.tpl.fork(pristine.Clone())
+	release := r.g.adopt(c.solver)
+	defer release()
+	r.g.phase(c.solver)
+	switch c.solver.SolveAssuming(c.canonicalAssumptions(systems)) {
+	case sat.Sat:
+		return c.designFromModel(), true
+	case sat.Unsat:
+		// Unreachable: the pinned set was just satisfied by a solver
+		// carrying strictly more clauses. Keep the discovery model.
+		return nil, false
+	default:
+		r.g.tripFrom(c.solver)
+		return nil, false
+	}
+}
+
+// spaceExhausted probes whether the admitted classes cover the whole
+// space: one solve on a fresh clone with every admitted class blocked.
+// Unsat means the cap coincided with exhaustion, so the admitted set is
+// the complete (worker-count-independent) set and no replay is needed.
+func (r *enumRun) spaceExhausted() bool {
+	c := r.tpl.fork(r.tpl.solver.Clone())
+	release := r.g.adopt(c.solver)
+	defer release()
+	for _, cls := range r.co.snapshot() {
+		c.solver.AddClause(c.blockingClause(cls.systems)...)
+	}
+	r.g.phase(c.solver)
+	switch c.solver.SolveAssuming(c.assumptions()) {
+	case sat.Unsat:
+		return true
+	case sat.Sat:
+		return false
+	default:
+		r.g.tripFrom(c.solver)
+		return false
+	}
+}
+
+// replay reruns discovery single-worker from a fresh clone: same
+// pristine template, no cube split, so it admits exactly the classes —
+// in exactly the order — a workers=1 run admits.
+func (r *enumRun) replay() {
+	r.co = &enumCoord{max: r.co.max, seen: make(map[string]bool)}
+	r.drain(oneCube())
+}
+
+// finish assembles the deterministic result. Three outcomes:
+//   - budget tripped: partial designs plus the typed Exhausted error,
+//     exactly as the sequential path reported;
+//   - cap reached ("limit"): with several workers the admitted subset
+//     depends on scheduling, so it is returned directly only when a
+//     probe proves it is the whole space; otherwise a single-worker
+//     replay reproduces the sequential prefix byte-for-byte — capped
+//     results trade the speedup for determinism;
+//   - otherwise every cube ran dry: Designs is provably complete.
+func (r *enumRun) finish(res *EnumerateResult, workers int) *EnumerateResult {
+	limited := r.co.isFull()
+	if limited && !r.g.hasTripped() && workers > 1 && !r.spaceExhausted() && !r.g.hasTripped() {
+		r.replay()
+	}
+	if r.g.hasTripped() {
+		res.Truncated = true
+		res.Exhausted = r.g.exhausted()
+		res.Reason = res.Exhausted.Cause
+		res.Designs = r.designs()
+		res.Spent = res.Exhausted.Spent
+		return res
+	}
+	if limited {
+		// Stopped at the class cap: more classes may exist.
+		res.Truncated = true
+		res.Reason = "limit"
+	}
+	res.Designs = r.designs()
+	res.Spent = r.g.spent()
+	return res
+}
+
+// emptyProjection handles an instance with no system vocabulary: every
+// model projects onto the single empty class, so one solve on a pristine
+// clone decides the whole enumeration (and is already canonical).
+// Without this guard the blocking clause would be empty, and asserting
+// it would poison the solver (okay=false) and — with proof logging
+// armed — record a bogus empty-clause derivation.
+func (r *enumRun) emptyProjection(res *EnumerateResult) *EnumerateResult {
+	c := r.tpl.fork(r.tpl.solver.Clone())
+	release := r.g.adopt(c.solver)
+	defer release()
+	r.g.phase(c.solver)
+	switch c.solver.SolveAssuming(c.assumptions()) {
+	case sat.Sat:
+		res.Designs = []*Design{c.designFromModel()}
+	case sat.Unsat:
+		// No compliant design at all: complete and empty.
+	default:
+		r.g.tripFrom(c.solver)
+		res.Truncated = true
+		res.Exhausted = r.g.exhausted()
+		res.Reason = res.Exhausted.Cause
+	}
+	res.Spent = r.g.spent()
+	return res
+}
+
+// designs returns the admitted designs sorted element-wise by system
+// set. (Comparing fmt.Sprint of the slices, as the pre-refactor sort
+// did, is ambiguous — ["a b","c"] renders like ["a","b c"] — and
+// allocates on every comparison.)
+func (r *enumRun) designs() []*Design {
+	classes := r.co.snapshot()
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make([]*Design, len(classes))
+	for i, cls := range classes {
+		out[i] = cls.design
+	}
+	sort.Slice(out, func(i, j int) bool { return lessSystems(out[i].Systems, out[j].Systems) })
+	return out
+}
+
+// lessSystems orders system sets element-wise: lexicographic over the
+// elements, shorter prefix first.
+func lessSystems(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

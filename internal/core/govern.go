@@ -135,13 +135,21 @@ func (g *governor) spent() BudgetSpent {
 // cause names the reason for the solver's last Unknown, preferring the
 // context's story (deadline vs cancel) when it fired.
 func (g *governor) cause() (string, error) {
-	switch g.solver.StopCause() {
+	return stopCause(g.solver, g.ctx)
+}
+
+// stopCause classifies a solver's last Unknown verdict under its
+// governing context: work budgets are named directly; an interrupt is
+// attributed to the context (deadline vs cancel) when it fired. Shared
+// by the single-solver governor and the enumeration pool's enumGov.
+func stopCause(s *sat.Solver, ctx context.Context) (string, error) {
+	switch s.StopCause() {
 	case sat.StopConflicts:
 		return "conflict budget", nil
 	case sat.StopDecisions:
 		return "decision budget", nil
 	}
-	if err := g.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return "deadline", err
 		}

@@ -260,9 +260,12 @@ func TestEnumerateLimitTruncation(t *testing.T) {
 }
 
 func TestEnumerateBudgetTruncation(t *testing.T) {
-	// The hook lets the first class be found and interrupts the second
-	// solve: the partial result must come back labeled, never silently.
+	// The hook lets the first class be discovered and interrupts the
+	// second solve (its canonicalization pass): the partial result —
+	// carrying the discovery model — must come back labeled, never
+	// silently. One worker so the shared solve counter is deterministic.
 	e := mustEngine(t, miniKB())
+	e.SetWorkers(1)
 	solves := 0
 	e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
 		if ev == sat.EventSolve {
@@ -290,6 +293,7 @@ func TestEnumerateLegacyPropagatesExhaustion(t *testing.T) {
 	// Satellite: the legacy Enumerate must not silently return partial
 	// results — the typed error rides along with the designs found.
 	e := mustEngine(t, miniKB())
+	e.SetWorkers(1)
 	solves := 0
 	e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
 		if ev == sat.EventSolve {
@@ -357,12 +361,16 @@ func TestSuggestExhaustion(t *testing.T) {
 }
 
 func TestDisambiguateIncomplete(t *testing.T) {
+	// One worker so the shared solve counter is deterministic: each class
+	// costs two solves (discovery + canonicalization), so tripping on the
+	// fifth solve yields exactly two classes before the cut.
 	e := mustEngine(t, miniKB())
+	e.SetWorkers(1)
 	solves := 0
 	e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
 		if ev == sat.EventSolve {
 			solves++
-			return solves >= 3 // find two classes, trip on the third probe
+			return solves >= 5 // find two classes, trip on the third discovery
 		}
 		return false
 	})

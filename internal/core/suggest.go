@@ -202,9 +202,12 @@ type Disambiguation struct {
 	// FreeAtoms lists context atoms whose value differs across designs:
 	// pinning them is zero-cost disambiguation.
 	FreeAtoms []string
-	// Incomplete reports that the underlying enumeration was cut short
-	// by a resource budget: further classes (and hence further forks) may
-	// exist beyond what this report covers.
+	// Incomplete reports that the underlying enumeration stopped before
+	// provably covering the design space — the class limit was hit or a
+	// resource budget tripped — so further classes (and hence further
+	// forks and free atoms) may exist beyond what this report covers. A
+	// report with Incomplete false is a complete disambiguation: every
+	// compliant class was considered.
 	Incomplete bool
 }
 
@@ -227,7 +230,7 @@ func (d *Disambiguation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d compliant design classes", d.Classes)
 	if d.Incomplete {
-		b.WriteString(" (enumeration cut short by resource budget)")
+		b.WriteString(" (enumeration cut short: more classes may exist)")
 	}
 	b.WriteString("\n")
 	for _, f := range d.Forks {
@@ -255,15 +258,19 @@ func (e *Engine) Disambiguate(sc Scenario, limit int) (*Disambiguation, error) {
 }
 
 // DisambiguateCtx is Disambiguate under a context and resource budget.
-// When the enumeration is cut short by a budget, the report is built from
-// the classes found and marked Incomplete rather than discarded.
+// When the enumeration is cut short — by the class limit or by a budget
+// trip — the report is built from the classes found and marked
+// Incomplete rather than discarded. A limit-truncated enumeration
+// (Truncated with a nil Exhausted) is a provably partial class set, so
+// it must be Incomplete too: only an exhaustive enumeration yields a
+// report that covers every fork.
 func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b Budget) (*Disambiguation, error) {
 	res, err := e.EnumerateCtx(ctx, sc, limit, b)
 	if err != nil {
 		return nil, err
 	}
 	designs := res.Designs
-	d := &Disambiguation{Classes: len(designs), Incomplete: res.Exhausted != nil}
+	d := &Disambiguation{Classes: len(designs), Incomplete: res.Truncated}
 	if len(designs) < 2 {
 		return d, nil
 	}

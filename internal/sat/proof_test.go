@@ -163,3 +163,35 @@ func TestProofEmptyOnAddClauseConflict(t *testing.T) {
 		t.Fatalf("unit-conflict proof rejected: %v", err)
 	}
 }
+
+func TestEmptyAddClausePoisonsAndLogsEmptyStep(t *testing.T) {
+	// Documents the contract the enumeration loop must respect: a clause
+	// with zero literals is the empty clause — it flips the solver to
+	// not-okay (every later Solve answers Unsat without searching) and,
+	// under proof logging, lands as the terminal empty proof step. An
+	// AllSAT loop that blocks an empty projection this way poisons its
+	// solver and pollutes the proof, which is why core's enumerator
+	// terminates the empty-vocabulary case without emitting the clause.
+	s := NewSolver()
+	p := s.AttachProof()
+	s.AddClause(1, 2)
+	if s.Solve() != Sat {
+		t.Fatal("setup solve must be Sat")
+	}
+	if ok := s.AddClause(); ok {
+		t.Fatal("empty AddClause must report unsatisfiability")
+	}
+	if s.Okay() {
+		t.Fatal("empty AddClause must poison the solver (okay=false)")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("poisoned solver must answer Unsat")
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if len(last.Clause) != 0 || last.Delete {
+		t.Fatalf("last proof step = %+v, want the empty clause", last)
+	}
+	if err := CheckRUP([][]Lit{{1, 2}, {}}, p); err != nil {
+		t.Fatalf("proof with explicit empty original rejected: %v", err)
+	}
+}

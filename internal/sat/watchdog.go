@@ -1,6 +1,9 @@
 package sat
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 // This file is the solver's resource-governance surface: per-call work
 // budgets (SetBudget), a typed reason for every Unknown verdict
@@ -156,4 +159,88 @@ func Watch(ctx context.Context, s *Solver) (release func()) {
 		close(stop)
 		<-done
 	}
+}
+
+// WatchGroup is the fan-out analogue of Watch: one watchdog goroutine
+// interrupting a dynamic set of solvers when a shared context fires.
+// A parallel query registers each worker or probe solver with Add and
+// detaches it when that solver's work ends; Release stops the watchdog
+// when the query is over. After the context has fired, Add interrupts
+// the solver synchronously, so a drained pool cannot start new work.
+type WatchGroup struct {
+	mu      sync.Mutex
+	solvers map[*Solver]struct{}
+	fired   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// WatchAll arms a group watchdog on ctx. With a context that can never
+// fire (nil, or a nil Done channel) the group is inert: Add and Release
+// still work but cost only the registration bookkeeping. If ctx is
+// already done, the group starts in the fired state — every Add
+// interrupts its solver deterministically before returning, mirroring
+// Watch's synchronous pre-check.
+func WatchAll(ctx context.Context) *WatchGroup {
+	g := &WatchGroup{solvers: make(map[*Solver]struct{})}
+	if ctx == nil || ctx.Done() == nil {
+		return g
+	}
+	select {
+	case <-ctx.Done():
+		g.fired = true
+		return g
+	default:
+	}
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go func() {
+		defer close(g.done)
+		select {
+		case <-ctx.Done():
+			g.fire()
+		case <-g.stop:
+		}
+	}()
+	return g
+}
+
+func (g *WatchGroup) fire() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fired = true
+	for s := range g.solvers {
+		s.Interrupt()
+	}
+}
+
+// Add registers s for interruption and returns its detach function
+// (safe to call after Release). If the context already fired, s is
+// interrupted synchronously and the registration is a no-op, so a
+// subsequent Solve refuses to start.
+func (g *WatchGroup) Add(s *Solver) (detach func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fired {
+		s.Interrupt()
+		return func() {}
+	}
+	g.solvers[s] = struct{}{}
+	return func() {
+		g.mu.Lock()
+		delete(g.solvers, s)
+		g.mu.Unlock()
+	}
+}
+
+// Release stops the watchdog goroutine; call it exactly once, when the
+// governed query ends. Like Watch's release, it does not clear
+// interrupts already delivered — per-query solvers stay stopped.
+func (g *WatchGroup) Release() {
+	if g.stop == nil {
+		return
+	}
+	close(g.stop)
+	<-g.done
 }

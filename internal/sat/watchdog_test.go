@@ -201,6 +201,88 @@ func TestWatchReleaseDisarms(t *testing.T) {
 	}
 }
 
+func TestWatchGroupInterruptsRegisteredSolvers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := WatchAll(ctx)
+	defer g.Release()
+	var solvers []*Solver
+	for i := 0; i < 3; i++ {
+		s := NewSolver()
+		pigeonhole(s, 12, 11) // minutes of work without the interrupt
+		g.Add(s)
+		solvers = append(solvers, s)
+	}
+	done := make(chan Status, len(solvers))
+	for _, s := range solvers {
+		s := s
+		go func() { done <- s.Solve() }()
+	}
+	cancel()
+	for range solvers {
+		select {
+		case st := <-done:
+			if st != Unknown {
+				t.Fatalf("interrupted worker returned %v, want Unknown", st)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("a registered worker hung past the group cancel")
+		}
+	}
+	for i, s := range solvers {
+		if s.StopCause() != StopInterrupt {
+			t.Fatalf("worker %d: StopCause = %v, want StopInterrupt", i, s.StopCause())
+		}
+	}
+}
+
+func TestWatchGroupAddAfterFire(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := WatchAll(ctx)
+	defer g.Release()
+	// The group starts fired: Add must interrupt synchronously, so a
+	// drained pool cannot start new work.
+	s := NewSolver()
+	s.AddClause(1)
+	g.Add(s)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve after fired Add returned %v, want Unknown", st)
+	}
+	if s.StopCause() != StopInterrupt {
+		t.Fatalf("StopCause = %v, want StopInterrupt", s.StopCause())
+	}
+}
+
+func TestWatchGroupDetachAndRelease(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := WatchAll(ctx)
+	s := NewSolver()
+	s.AddClause(1, 2)
+	detach := g.Add(s)
+	detach() // worker finished before the context fired
+	g.Release()
+	detach() // safe after Release
+	cancel()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("detached solver returned %v, want Sat", st)
+	}
+
+	// An inert group (no cancellable context) is pure bookkeeping.
+	inert := WatchAll(context.Background())
+	d := inert.Add(s)
+	d()
+	inert.Release()
+	s2 := NewSolver()
+	s2.AddClause(3)
+	inert2 := WatchAll(nil)
+	inert2.Add(s2)
+	inert2.Release()
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("solver under inert group returned %v, want Sat", st)
+	}
+}
+
 func TestStopCauseStrings(t *testing.T) {
 	cases := map[StopCause]string{
 		StopNone:      "none",

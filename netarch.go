@@ -76,6 +76,10 @@ type (
 	// or parallel queries over the same scenario shape never recompile.
 	// Engine.CacheStats, Engine.SetCacheCapacity and
 	// Engine.InvalidateCache observe and control the cache.
+	// Enumeration (EnumerateCtx, Enumerate, DisambiguateCtx) itself runs
+	// on a pool of cloned solvers — Engine.SetWorkers sizes it (default
+	// runtime.GOMAXPROCS(0)) — with results guaranteed independent of the
+	// worker count.
 	Engine = core.Engine
 	// CacheStats reports the engine's compiled-base cache: size,
 	// capacity, and lifetime hit/miss counters.
