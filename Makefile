@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff bench bench-smoke clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,12 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkCompile -benchtime=1x .
 
 # bench runs the full root benchmark suite with allocation stats and
-# renders the results to BENCH_PR2.json (name -> ns/op, B/op, allocs/op)
+# renders the results to BENCH_PR4.json (name -> ns/op, B/op, allocs/op)
 # via the stdlib-only parser in cmd/benchjson. Commit the JSON to track
 # the perf trajectory.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee /tmp/netarch-bench.txt
-	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > BENCH_PR2.json
+	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > BENCH_PR4.json
 
 # parallel-diff pins the parallel-vs-sequential enumeration differential
 # (the DESIGN.md §8 determinism contract over the §5.1 queries) so the
@@ -33,10 +33,26 @@ bench:
 parallel-diff:
 	$(GO) test -run='TestEnumerateParallel|TestEnumerateWorkerCountInvariance' -count=1 . ./internal/core
 
+# snapshot-diff pins the disk-cache round-trip differential (the
+# DESIGN.md §9 restore-equivalence contract): a solver revived from
+# bytes answers identically to its in-process Clone, and an engine
+# revived from a cache directory answers the §5.1 queries identically
+# to the warm in-process path.
+snapshot-diff:
+	$(GO) test -run='TestSnapshotRestoreSolvesIdentically|TestDiskCacheDifferential|TestDiskWarmSkipsCompile' -count=1 ./internal/sat ./internal/core
+
+# fuzz-smoke runs the snapshot decoders' fuzz targets briefly so the
+# untrusted-bytes contract (typed errors, no panics, no OOM) is
+# exercised on every gate, not only in dedicated fuzz sessions.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzRestoreSnapshot -fuzztime=10s ./internal/sat
+	$(GO) test -run=NONE -fuzz=FuzzDecodeBase -fuzztime=10s ./internal/core
+
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
-# analysis, the race detector over every package, the enumeration
-# determinism differential, and a benchmark smoke run.
-verify: build vet test race parallel-diff bench-smoke
+# analysis, the race detector over every package, the enumeration and
+# snapshot differentials, a fuzz smoke over both snapshot decoders, and
+# a benchmark smoke run.
+verify: build vet test race parallel-diff snapshot-diff fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -567,6 +567,67 @@ func BenchmarkEnumerateParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkColdStart measures a fresh process's first query at full
+// catalog scale. "compile" is what every cold process paid before the
+// disk tier existed: build the formula, CNF it, Simplify. "disk-warm"
+// revives the same base from a persisted snapshot (the cache directory
+// is primed once, off the clock) — each iteration asserts through the
+// cache counters that no compile ran. The compile/disk-warm ratio is
+// the cross-process startup win of DESIGN.md §9.
+func BenchmarkColdStart(b *testing.B) {
+	k := catalog.CaseStudy()
+	sc := netarch.Scenario{Workloads: []string{"inference_app"}}
+	firstQuery := func(b *testing.B, eng *netarch.Engine) {
+		b.Helper()
+		rep, err := eng.Synthesize(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Verdict != netarch.Feasible {
+			b.Fatal("expected feasible")
+		}
+	}
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := netarch.NewEngine(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			firstQuery(b, eng)
+		}
+	})
+	b.Run("disk-warm", func(b *testing.B) {
+		dir := b.TempDir()
+		primer, err := netarch.NewEngine(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := primer.SetCacheDir(dir); err != nil {
+			b.Fatal(err)
+		}
+		firstQuery(b, primer)
+		if st := primer.CacheStats(); st.DiskWrites == 0 {
+			b.Fatalf("priming run persisted nothing: %v", st)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := netarch.NewEngine(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.SetCacheDir(dir); err != nil {
+				b.Fatal(err)
+			}
+			firstQuery(b, eng)
+			if st := eng.CacheStats(); st.Misses != 0 || st.DiskHits != 1 {
+				b.Fatalf("disk-warm first query compiled instead of reviving: %v", st)
+			}
+		}
+	})
+}
+
 // BenchmarkCompile measures scenario compilation alone (formula build +
 // CNF + arithmetic) at full catalog scale.
 func BenchmarkCompile(b *testing.B) {

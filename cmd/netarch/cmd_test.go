@@ -252,3 +252,39 @@ func TestCmdSolveCacheStatsFlag(t *testing.T) {
 		t.Errorf("synth -cache-stats should print cache counters:\n%s", out)
 	}
 }
+
+// TestCmdSolveCacheDir runs the same synth twice against one -cache-dir:
+// the first process-equivalent writes a base snapshot, the second revives
+// it from disk (visible in -cache-stats as a disk hit and zero misses).
+func TestCmdSolveCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-require", "congestion_control", "-cache-dir", dir, "-cache-stats"}
+	cold := capture(t, func() error { return cmdSolve(args, "synth") })
+	if !strings.Contains(cold, "FEASIBLE") || !strings.Contains(cold, "1 misses") {
+		t.Errorf("cold run should compile once:\n%s", cold)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.nabase"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no snapshot files written to -cache-dir (err %v)", err)
+	}
+	warm := capture(t, func() error { return cmdSolve(args, "synth") })
+	if !strings.Contains(warm, "FEASIBLE") {
+		t.Errorf("disk-warm run failed:\n%s", warm)
+	}
+	if !strings.Contains(warm, "disk: 1 hits") || !strings.Contains(warm, "0 misses") {
+		t.Errorf("disk-warm run should revive the base without compiling:\n%s", warm)
+	}
+	// A corrupted snapshot must not change the answer, only the counters.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := capture(t, func() error { return cmdSolve(args, "synth") })
+	if !strings.Contains(corrupt, "FEASIBLE") || !strings.Contains(corrupt, "1 corrupt") {
+		t.Errorf("corrupt snapshot should recompile and count:\n%s", corrupt)
+	}
+}

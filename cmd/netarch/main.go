@@ -65,7 +65,11 @@ Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
                       identical whatever the worker count)
 
 Cache flags:
-  -cache-stats        print compiled-base cache stats after the queries
+  -cache-dir DIR      persist compiled bases to DIR and revive them on
+                      startup, so even a fresh process skips the first
+                      compile (corrupt/stale files recompile silently)
+  -cache-stats        print compiled-base cache stats after the queries,
+                      including disk hit/miss/evict/corrupt counters
   -rounds N           (multi) rounds of synth+explain+optimize (default 3)
 
 Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted
@@ -235,6 +239,18 @@ func workersFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine)) {
 	return func(eng *netarch.Engine) { eng.SetWorkers(*workers) }
 }
 
+// cacheDirFlag registers -cache-dir and returns an applier that turns on
+// the engine's persistent compiled-base cache (see Engine.SetCacheDir).
+func cacheDirFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine) error) {
+	dir := fs.String("cache-dir", "", "directory for persistent compiled-base snapshots (empty = off)")
+	return func(eng *netarch.Engine) error {
+		if *dir == "" {
+			return nil
+		}
+		return eng.SetCacheDir(*dir)
+	}
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -253,6 +269,7 @@ func cmdSolve(args []string, mode string) error {
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
+	setCacheDir := cacheDirFlag(fs)
 	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -275,6 +292,9 @@ func cmdSolve(args []string, mode string) error {
 		return err
 	}
 	setWorkers(eng)
+	if err := setCacheDir(eng); err != nil {
+		return err
+	}
 	switch mode {
 	case "synth":
 		rep, err := eng.SynthesizeCtx(ctx, sc, budget)
@@ -360,6 +380,7 @@ func cmdMulti(args []string) error {
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
+	setCacheDir := cacheDirFlag(fs)
 	rounds := fs.Int("rounds", 3, "rounds of synth+explain+optimize to run")
 	cacheStats := fs.Bool("cache-stats", true, "print compiled-base cache stats after the queries")
 	if err := fs.Parse(args); err != nil {
@@ -380,6 +401,9 @@ func cmdMulti(args []string) error {
 		return err
 	}
 	setWorkers(eng)
+	if err := setCacheDir(eng); err != nil {
+		return err
+	}
 	for r := 1; r <= *rounds; r++ {
 		start := time.Now()
 		rep, err := eng.SynthesizeCtx(ctx, sc, budget)

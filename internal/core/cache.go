@@ -30,40 +30,71 @@ type CacheStats struct {
 	// the retention limit (0 means caching is disabled).
 	Size     int
 	Capacity int
-	// Hits and Misses count queries served from a cached base vs queries
-	// that had to compile one, over the engine's lifetime (InvalidateCache
-	// does not reset them).
+	// Hits and Misses count queries served from an in-memory base vs
+	// queries that had to compile one, over the engine's lifetime
+	// (InvalidateCache does not reset them). A query revived from disk
+	// counts as a DiskHit, not a Hit or a Miss, so Misses is exactly the
+	// number of base compiles: Hits + DiskHits + Misses = queries.
 	Hits   int64
 	Misses int64
+	// Disk-tier counters (all zero unless SetCacheDir is active).
+	// DiskHits: bases revived from a snapshot file. DiskMisses: lookups
+	// with no usable file. DiskWrites: snapshot files persisted.
+	// DiskEvictions: files removed by the size/count bound.
+	// DiskCorrupt: files rejected (bad CRC/magic/version, stale KB hash,
+	// fingerprint mismatch) and quarantined.
+	DiskHits      int64
+	DiskMisses    int64
+	DiskWrites    int64
+	DiskEvictions int64
+	DiskCorrupt   int64
 }
 
 // String renders the cache stats.
 func (cs CacheStats) String() string {
-	total := cs.Hits + cs.Misses
+	total := cs.Hits + cs.DiskHits + cs.Misses
 	rate := 0.0
 	if total > 0 {
-		rate = float64(cs.Hits) / float64(total) * 100
+		rate = float64(cs.Hits+cs.DiskHits) / float64(total) * 100
 	}
-	return fmt.Sprintf("%d bases cached (cap %d), %d hits / %d misses (%.0f%% hit rate)",
+	s := fmt.Sprintf("%d bases cached (cap %d), %d hits / %d misses (%.0f%% hit rate)",
 		cs.Size, cs.Capacity, cs.Hits, cs.Misses, rate)
+	if cs.DiskHits+cs.DiskMisses+cs.DiskWrites+cs.DiskEvictions+cs.DiskCorrupt > 0 {
+		s += fmt.Sprintf("; disk: %d hits / %d misses, %d writes, %d evicted, %d corrupt",
+			cs.DiskHits, cs.DiskMisses, cs.DiskWrites, cs.DiskEvictions, cs.DiskCorrupt)
+	}
+	return s
 }
 
 // CacheStats returns a snapshot of the compiled-base cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return CacheStats{Size: len(e.bases), Capacity: e.cacheCap, Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return CacheStats{
+		Size: len(e.bases), Capacity: e.cacheCap,
+		Hits: e.hits.Load(), Misses: e.misses.Load(),
+		DiskHits: e.diskHits.Load(), DiskMisses: e.diskMisses.Load(),
+		DiskWrites: e.diskWrites.Load(), DiskEvictions: e.diskEvictions.Load(),
+		DiskCorrupt: e.diskCorrupt.Load(),
+	}
 }
 
 // InvalidateCache drops every cached compiled base. Call it after
 // mutating the knowledge base in place; queries in flight keep their
 // private clones and are unaffected. Hit/miss counters are lifetime
 // counters and are not reset.
+// InvalidateCache also re-fingerprints the knowledge base for the disk
+// tier, so snapshots written before the mutation are rejected as stale
+// (their KB hash no longer matches) rather than deleted — another process
+// on the old KB can still use them.
 func (e *Engine) InvalidateCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.bases = make(map[string]*compiled)
 	e.baseOrder = nil
+	if e.cacheDir != "" {
+		e.kbHash = kbContentHash(e.kb)
+	}
 }
 
 // SetCacheCapacity bounds how many compiled bases the engine retains
@@ -158,11 +189,20 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 		e.hits.Add(1)
 		return base, true, nil
 	}
-	fresh, err := e.compileBase(&shape)
-	if err != nil {
-		return nil, false, err
+	// Memory miss: try the disk tier before paying the compile. A revived
+	// base bumps DiskHits only — Misses stays the compile count.
+	var fresh *compiled
+	fromDisk := false
+	if fresh = e.loadDiskBase(&shape, key); fresh != nil {
+		e.diskHits.Add(1)
+		fromDisk = true
+	} else {
+		fresh, err = e.compileBase(&shape)
+		if err != nil {
+			return nil, false, err
+		}
+		e.misses.Add(1)
 	}
-	e.misses.Add(1)
 	e.mu.Lock()
 	if existing := e.bases[key]; existing != nil {
 		// Lost a compile race: adopt the stored base so every query over
@@ -178,6 +218,11 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 		}
 	}
 	e.mu.Unlock()
+	if base == fresh && !fromDisk {
+		// Persist freshly compiled bases so the next process skips the
+		// compile too. Best-effort: a failed write only costs warmth.
+		e.writeDiskBase(base, key)
+	}
 	return base, true, nil
 }
 

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The disk tier of the compiled-base cache: frozen bases are persisted as
+// base-snapshot files (snapshot.go) named by the SHA-256 of their shape
+// fingerprint, so the CLI and other short-lived processes skip the first
+// compile+Simplify too. Lookup order is memory → disk → compile
+// (cache.go:baseFor).
+//
+// Safety model: a cache file can change how fast an answer arrives, never
+// what it is. Every file is CRC-, version-, KB-hash-, and fingerprint-
+// checked on load; any rejection counts as DiskCorrupt, quarantines the
+// file (renamed with a ".bad" suffix, preserving the evidence without
+// retrying it forever), and falls through to a clean recompile. Writes go
+// through a temp file + rename, so concurrent processes — or a crash
+// mid-write — can never publish a torn file. Eviction is mtime-ordered
+// and bounded by both file count and total bytes; loads re-touch their
+// file so hot shapes survive.
+
+const (
+	// baseSnapshotExt is the extension of live cache files; quarantined
+	// files get baseSnapshotExt + quarantineExt.
+	baseSnapshotExt = ".nabase"
+	quarantineExt   = ".bad"
+
+	// DefaultDiskCacheFiles and DefaultDiskCacheBytes bound the disk tier
+	// until SetDiskCacheLimit overrides them.
+	DefaultDiskCacheFiles = 256
+	DefaultDiskCacheBytes = 1 << 30
+
+	// maxSnapshotFileSize rejects absurd files before reading them into
+	// memory; no legitimate base snapshot gets anywhere near it.
+	maxSnapshotFileSize = 1 << 30
+)
+
+// SetCacheDir enables the persistent cache tier in the given directory
+// (created if missing) and fingerprints the current knowledge base to key
+// the snapshots. An empty dir disables the tier. Returns any error from
+// creating the directory. Safe to call concurrently with queries, but the
+// KB must not be mutated during the call (mutate + InvalidateCache first).
+func (e *Engine) SetCacheDir(dir string) error {
+	var hash [32]byte
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		hash = kbContentHash(e.kb)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cacheDir = dir
+	e.kbHash = hash
+	if e.diskMaxFiles == 0 {
+		e.diskMaxFiles = DefaultDiskCacheFiles
+	}
+	if e.diskMaxBytes == 0 {
+		e.diskMaxBytes = DefaultDiskCacheBytes
+	}
+	return nil
+}
+
+// SetDiskCacheLimit bounds the disk tier to at most maxFiles snapshot
+// files and maxBytes total (whichever trips first); values <= 0 keep the
+// current bound. Eviction runs after each write, oldest mtime first.
+func (e *Engine) SetDiskCacheLimit(maxFiles int, maxBytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if maxFiles > 0 {
+		e.diskMaxFiles = maxFiles
+	}
+	if maxBytes > 0 {
+		e.diskMaxBytes = maxBytes
+	}
+}
+
+// diskConfig snapshots the disk-tier configuration under the read lock.
+func (e *Engine) diskConfig() (dir string, hash [32]byte, maxFiles int, maxBytes int64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cacheDir, e.kbHash, e.diskMaxFiles, e.diskMaxBytes
+}
+
+// snapshotPath is the cache file for a shape fingerprint. The name hashes
+// the fingerprint: fingerprints contain user-controlled strings (workload
+// names, SKU names) that must not reach the filesystem namespace.
+func snapshotPath(dir, fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])+baseSnapshotExt)
+}
+
+// loadDiskBase tries to revive the base for a shape from disk. It returns
+// nil on any miss — no tier configured, no file, or a file that failed
+// validation (which is counted, quarantined, and never retried). The
+// caller falls through to compileBase, so disk problems are invisible to
+// queries.
+func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
+	dir, hash, _, _ := e.diskConfig()
+	if dir == "" {
+		return nil
+	}
+	path := snapshotPath(dir, fingerprint)
+	info, err := os.Stat(path)
+	if err != nil {
+		e.diskMisses.Add(1)
+		return nil
+	}
+	if info.Size() > maxSnapshotFileSize {
+		e.diskCorrupt.Add(1)
+		e.quarantine(path)
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		e.diskMisses.Add(1)
+		return nil
+	}
+	base, err := e.restoreBase(shape, hash, data)
+	if err != nil {
+		e.diskCorrupt.Add(1)
+		e.quarantine(path)
+		return nil
+	}
+	// Refresh the mtime so eviction treats revived shapes as hot.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return base
+}
+
+// writeDiskBase persists a freshly compiled base, then enforces the
+// eviction bounds. Best-effort: failures are silent (the cache is an
+// accelerator, not a store of record), but successful writes are counted.
+func (e *Engine) writeDiskBase(base *compiled, fingerprint string) {
+	dir, hash, maxFiles, maxBytes := e.diskConfig()
+	if dir == "" {
+		return
+	}
+	data := snapshotBase(base, hash)
+	e.diskMu.Lock()
+	defer e.diskMu.Unlock()
+	tmp, err := os.CreateTemp(dir, "nabase-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	// rename is atomic within the directory: concurrent readers see the
+	// old file or the new one, never a torn mix.
+	if err := os.Rename(tmp.Name(), snapshotPath(dir, fingerprint)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	e.diskWrites.Add(1)
+	e.evictDisk(dir, maxFiles, maxBytes)
+}
+
+// quarantine renames a rejected cache file out of the lookup namespace so
+// it is never re-parsed but stays on disk for diagnosis.
+func (e *Engine) quarantine(path string) {
+	_ = os.Rename(path, path+quarantineExt)
+}
+
+// evictDisk removes the oldest snapshot files until the directory is
+// within both bounds. Caller holds diskMu.
+func (e *Engine) evictDisk(dir string, maxFiles int, maxBytes int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileInfo
+	var totalBytes int64
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != baseSnapshotExt {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{filepath.Join(dir, ent.Name()), info.Size(), info.ModTime()})
+		totalBytes += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for i := 0; i < len(files) && (len(files)-i > maxFiles || totalBytes > maxBytes); i++ {
+		if os.Remove(files[i].path) == nil {
+			e.diskEvictions.Add(1)
+		}
+		totalBytes -= files[i].size
+	}
+}

@@ -32,6 +32,22 @@ type Engine struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 
+	// Disk tier (see diskcache.go): cacheDir enables persistence of
+	// frozen bases across processes; kbHash keys the snapshots to the
+	// exact knowledge-base content. diskMu serializes writes+eviction
+	// (loads are lock-free). The disk counters are atomic for the same
+	// reason hits/misses are.
+	cacheDir      string
+	kbHash        [32]byte
+	diskMu        sync.Mutex
+	diskMaxFiles  int
+	diskMaxBytes  int64
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
+	diskWrites    atomic.Int64
+	diskEvictions atomic.Int64
+	diskCorrupt   atomic.Int64
+
 	// workers is the enumeration worker-pool size; 0 means the default,
 	// runtime.GOMAXPROCS(0) at query time. See SetWorkers.
 	workers atomic.Int32

@@ -40,6 +40,23 @@ func (a Int) Max() int64 { return a.max }
 // Width returns the number of bits.
 func (a Int) Width() int { return len(a.bits) }
 
+// Bits returns a copy of the integer's literals, LSB first. Together with
+// Max it captures an Int exactly, so an integer circuit already present in
+// a serialized solver can be re-described via RestoreInt.
+func (a Int) Bits() []sat.Lit { return append([]sat.Lit(nil), a.bits...) }
+
+// RestoreInt reassembles an Int from Bits/Max output. Unlike
+// Builder.FromBits it preserves the exact declared maximum rather than
+// assuming 2^len-1, and builds no clauses: the circuit the literals came
+// from must already exist in the target solver (e.g. restored from a
+// snapshot).
+func RestoreInt(bits []sat.Lit, max int64) Int {
+	if max < 0 {
+		panic(fmt.Sprintf("intlin: negative maximum %d", max))
+	}
+	return Int{bits: append([]sat.Lit(nil), bits...), max: max}
+}
+
 // Builder allocates integer circuits over an Adder.
 type Builder struct {
 	s       Adder
@@ -61,6 +78,15 @@ func New(s Adder) *Builder {
 // s must contain b's variable space (a clone or the original itself).
 func (b *Builder) WithAdder(s Adder) *Builder {
 	return &Builder{s: s, trueLit: b.trueLit}
+}
+
+// Attach returns a Builder emitting into s that reuses an existing
+// constant-true literal rather than allocating one. It is the
+// deserialization counterpart of WithAdder: when a solver is restored from
+// a snapshot the original Builder is gone, but its pinned true variable
+// (recorded alongside the snapshot) is still constrained inside s.
+func Attach(s Adder, trueLit sat.Lit) *Builder {
+	return &Builder{s: s, trueLit: trueLit}
 }
 
 // True returns the builder's constant-true literal.

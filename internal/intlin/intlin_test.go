@@ -303,3 +303,59 @@ func TestAssertImplies(t *testing.T) {
 		t.Error("without guard x=7 must be allowed")
 	}
 }
+
+// TestRestoreIntAcrossSnapshot exercises the serialization accessors: an
+// integer circuit built in one solver is carried across a sat.Snapshot via
+// Bits/Max, reattached with Attach+RestoreInt, and must evaluate and
+// constrain identically in the restored solver.
+func TestRestoreIntAcrossSnapshot(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(20)
+	y := b.Var(9)
+	sum := b.Add(x, y)
+	b.Assert(b.EqConst(x, 13))
+	b.Assert(b.EqConst(y, 6))
+
+	restored, err := sat.RestoreSnapshot(s.Snapshot())
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	rb := Attach(restored, b.True())
+	rsum := RestoreInt(sum.Bits(), sum.Max())
+	if rsum.Max() != sum.Max() || rsum.Width() != sum.Width() {
+		t.Fatalf("RestoreInt shape: got max %d width %d, want %d/%d",
+			rsum.Max(), rsum.Width(), sum.Max(), sum.Width())
+	}
+	// New clauses against the restored circuit must behave as in-process.
+	rb.Assert(rb.GeqConst(rsum, 19))
+	if restored.Solve() != sat.Sat {
+		t.Fatal("restored: want SAT (13+6 = 19)")
+	}
+	if got := ValueOf(rsum, restored.Model()); got != 19 {
+		t.Fatalf("restored sum: got %d, want 19", got)
+	}
+	rb.Assert(rb.GeqConst(rsum, 20))
+	if restored.Solve() != sat.Unsat {
+		t.Fatal("restored: want UNSAT (sum pinned to 19)")
+	}
+}
+
+// TestBitsIsACopy guards against aliasing: mutating the returned slice
+// must not corrupt the Int.
+func TestBitsIsACopy(t *testing.T) {
+	s := sat.NewSolver()
+	b := New(s)
+	x := b.Var(7)
+	bits := x.Bits()
+	for i := range bits {
+		bits[i] = bits[i].Flip()
+	}
+	pin(b, x, 5)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want SAT")
+	}
+	if got := ValueOf(x, s.Model()); got != 5 {
+		t.Fatalf("after mutating Bits copy: got %d, want 5", got)
+	}
+}

@@ -348,6 +348,24 @@ func (vo *Vocabulary) Lookup(name string) Var {
 	return vo.byName[name]
 }
 
+// Names returns a copy of all variable names in allocation order
+// (names[i] belongs to Var(i+1); anonymous variables contribute "").
+// Together with RestoreVocabulary it round-trips a vocabulary exactly,
+// which base-snapshot serialization relies on.
+func (vo *Vocabulary) Names() []string {
+	return append([]string(nil), vo.names...)
+}
+
+// RestoreVocabulary rebuilds a vocabulary from Names output: variable
+// indices, lookup results, and Len match the original vocabulary.
+func RestoreVocabulary(names []string) *Vocabulary {
+	vo := NewVocabulary()
+	for _, n := range names {
+		vo.Fresh(n)
+	}
+	return vo
+}
+
 // Atom is shorthand for V(vo.Get(name)).
 func (vo *Vocabulary) Atom(name string) Formula { return V(vo.Get(name)) }
 

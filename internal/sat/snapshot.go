@@ -1,0 +1,584 @@
+package sat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements solver state serialization: Snapshot renders a
+// level-0 solver into a self-contained byte string and RestoreSnapshot
+// reconstructs a behaviorally identical solver from it. A restored solver
+// relates to the original exactly as a Clone does (DESIGN.md §7): the
+// clause database, watch-list order, trail, saved phases, VSIDS
+// activities, and order heap are preserved verbatim, so a restored solver
+// runs the same search, conflict for conflict. Snapshot is the substrate
+// of the persistent compiled-base cache: a frozen post-Simplify base can
+// be written to disk and revived in another process without recompiling.
+//
+// The decoder treats its input as untrusted. Every count is bounded by
+// the remaining input length before any allocation (memory stays O(input
+// size)), every literal and clause reference is range-checked, and the
+// watch-list/trail invariants the search relies on are re-validated, so
+// truncated, bit-flipped, or adversarial bytes yield a typed
+// ErrBadSnapshot — never a panic, an OOM, or a solver whose later solve
+// calls can fault.
+
+// ErrBadSnapshot is returned (wrapped, with detail) by RestoreSnapshot
+// when the input is not a well-formed solver snapshot.
+var ErrBadSnapshot = errors.New("sat: malformed solver snapshot")
+
+// snapshotVersion is the solver-section format version. Bump it on any
+// incompatible layout change; RestoreSnapshot rejects other versions.
+const snapshotVersion = 1
+
+// maxSnapshotVars bounds the variable count a snapshot may declare; it
+// exists purely to keep arithmetic on 2*nVars comfortably inside int32
+// literal space. Real instances are orders of magnitude smaller.
+const maxSnapshotVars = 1 << 28
+
+// clause flag bits in the serialized form.
+const (
+	snapFlagLearnt  = 1
+	snapFlagDeleted = 2
+)
+
+// Snapshot serializes the solver's complete search-relevant state. It may
+// only be called at decision level 0 (like Clone) and panics otherwise.
+//
+// Per-run state is deliberately not captured, mirroring Clone: statistics,
+// work budgets, pending interrupts, the last model/final conflict, an
+// attached DRAT proof, and all Options (including any fault hook) are
+// absent from the snapshot; RestoreSnapshot returns a solver with default
+// options, and the caller re-applies what it needs.
+func (s *Solver) Snapshot() []byte {
+	if s.decisionLevel() != 0 {
+		panic("sat: Snapshot called above decision level 0")
+	}
+	// Like Clone, clause identity is tracked with forwarding marks in the
+	// source structs (cloneIdx = 1+ID), so concurrent Snapshot/Clone calls
+	// on one solver serialize on cloneMu.
+	s.cloneMu.Lock()
+	defer s.cloneMu.Unlock()
+
+	// Collect the clause universe: problem clauses, learnts, then lazily-
+	// detached stragglers still referenced by watch lists or reasons.
+	all := make([]*clause, 0, len(s.clauses)+len(s.learnts))
+	add := func(c *clause) {
+		if c != nil && c.cloneIdx == 0 {
+			all = append(all, c)
+			c.cloneIdx = int32(len(all))
+		}
+	}
+	for _, c := range s.clauses {
+		add(c)
+	}
+	for _, c := range s.learnts {
+		add(c)
+	}
+	nP, nL := len(s.clauses), len(s.learnts)
+	for _, ws := range s.watches {
+		for _, w := range ws {
+			add(w.c)
+		}
+	}
+	for _, c := range s.reason {
+		add(c)
+	}
+	nX := len(all) - nP - nL
+
+	nLits := 0
+	for _, c := range all {
+		nLits += len(c.lits)
+	}
+	nWatchers := 0
+	for _, ws := range s.watches {
+		nWatchers += len(ws)
+	}
+	buf := make([]byte, 0, 64+12*len(all)+5*nLits+10*nWatchers+10*s.nVars)
+
+	u32 := func(v uint32) {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	uv := func(v uint64) {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	f64 := func(v float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+
+	u32(snapshotVersion)
+	uv(uint64(s.nVars))
+	if s.okay {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	uv(uint64(s.qhead))
+	uv(uint64(s.restartBase))
+	f64(s.varInc)
+	f64(s.claInc)
+	f64(s.maxLearnts)
+	f64(s.learntGrowth)
+
+	uv(uint64(nP))
+	uv(uint64(nL))
+	uv(uint64(nX))
+	for _, c := range all {
+		var flags byte
+		if c.learnt {
+			flags |= snapFlagLearnt
+		}
+		if c.deleted {
+			flags |= snapFlagDeleted
+		}
+		buf = append(buf, flags)
+		uv(uint64(c.lbd))
+		f64(c.activity)
+		uv(uint64(len(c.lits)))
+		for _, l := range c.lits {
+			uv(uint64(l))
+		}
+	}
+
+	uv(uint64(len(s.trail)))
+	for _, l := range s.trail {
+		uv(uint64(l))
+	}
+
+	// Saved phases, one bit per variable.
+	pol := make([]byte, (s.nVars+7)/8)
+	for v := 0; v < s.nVars; v++ {
+		if s.polarity[v] {
+			pol[v/8] |= 1 << (v % 8)
+		}
+	}
+	buf = append(buf, pol...)
+
+	// VSIDS activities: the pristine post-compile case is all-zero, so a
+	// flag byte elides the array entirely.
+	allZero := true
+	for _, a := range s.activity {
+		if a != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, a := range s.activity {
+			f64(a)
+		}
+	}
+
+	uv(uint64(len(s.order.heap)))
+	for _, v := range s.order.heap {
+		uv(uint64(v))
+	}
+
+	for _, c := range s.reason {
+		if c == nil {
+			uv(0)
+		} else {
+			uv(uint64(c.cloneIdx)) // already 1+ID
+		}
+	}
+
+	for _, ws := range s.watches {
+		uv(uint64(len(ws)))
+		for _, w := range ws {
+			uv(uint64(w.c.cloneIdx - 1))
+			uv(uint64(w.blocker))
+		}
+	}
+
+	// Reset the forwarding marks so the solver is pristine for the next
+	// Snapshot or Clone.
+	for _, c := range all {
+		c.cloneIdx = 0
+	}
+	return buf
+}
+
+// snapReader is a bounds-checked cursor over untrusted snapshot bytes.
+type snapReader struct {
+	b   []byte
+	off int
+}
+
+func (r *snapReader) rem() int { return len(r.b) - r.off }
+
+func (r *snapReader) fail(what string) error {
+	return fmt.Errorf("%w: truncated or oversized %s at offset %d", ErrBadSnapshot, what, r.off)
+}
+
+func (r *snapReader) u32(what string) (uint32, error) {
+	if r.rem() < 4 {
+		return 0, r.fail(what)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *snapReader) byte(what string) (byte, error) {
+	if r.rem() < 1 {
+		return 0, r.fail(what)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *snapReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, r.fail(what)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a length prefix and rejects values that could not possibly
+// be backed by the remaining input (each counted element occupies at
+// least one encoded byte), bounding every allocation by the input size.
+func (r *snapReader) count(what string) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.rem()) {
+		return 0, r.fail(what)
+	}
+	return int(v), nil
+}
+
+func (r *snapReader) f64(what string) (float64, error) {
+	if r.rem() < 8 {
+		return 0, r.fail(what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// finiteNonNeg validates heuristic scalars: NaN, infinities, and negative
+// values would send the search loop or the clause-DB sizing haywire.
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// RestoreSnapshot reconstructs a solver from Snapshot output. The restored
+// solver behaves identically to the snapshotted one: same clause database,
+// same watch order, same trail and heuristic state, hence the same search.
+// Options, budgets, fault hooks, and proofs are not restored; set them on
+// the returned solver as needed.
+//
+// The input is untrusted: any structural violation returns an error
+// wrapping ErrBadSnapshot. Allocation is bounded by the input length, so
+// hostile length prefixes cannot OOM the process.
+func RestoreSnapshot(data []byte) (*Solver, error) {
+	r := &snapReader{b: data}
+	version, err := r.u32("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported solver snapshot version %d (have %d)",
+			ErrBadSnapshot, version, snapshotVersion)
+	}
+	nv64, err := r.uvarint("variable count")
+	if err != nil {
+		return nil, err
+	}
+	// Every variable owns at least one polarity bit per 8 plus a reason
+	// entry, so nVars beyond the remaining byte count is unsatisfiable.
+	if nv64 > uint64(r.rem()) || nv64 > maxSnapshotVars {
+		return nil, r.fail("variable count")
+	}
+	nVars := int(nv64)
+	okayByte, err := r.byte("okay flag")
+	if err != nil {
+		return nil, err
+	}
+	qh64, err := r.uvarint("qhead")
+	if err != nil {
+		return nil, err
+	}
+	rb64, err := r.uvarint("restart base")
+	if err != nil {
+		return nil, err
+	}
+	if rb64 < 1 || rb64 > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: restart base %d out of range", ErrBadSnapshot, rb64)
+	}
+	varInc, err := r.f64("varInc")
+	if err != nil {
+		return nil, err
+	}
+	claInc, err := r.f64("claInc")
+	if err != nil {
+		return nil, err
+	}
+	maxLearnts, err := r.f64("maxLearnts")
+	if err != nil {
+		return nil, err
+	}
+	learntGrowth, err := r.f64("learntGrowth")
+	if err != nil {
+		return nil, err
+	}
+	if !finiteNonNeg(varInc) || !finiteNonNeg(claInc) || !finiteNonNeg(maxLearnts) ||
+		!finiteNonNeg(learntGrowth) || learntGrowth < 1 {
+		return nil, fmt.Errorf("%w: non-finite or out-of-range heuristic scalars", ErrBadSnapshot)
+	}
+
+	nP, err := r.count("problem clause count")
+	if err != nil {
+		return nil, err
+	}
+	nL, err := r.count("learnt clause count")
+	if err != nil {
+		return nil, err
+	}
+	nX, err := r.count("straggler clause count")
+	if err != nil {
+		return nil, err
+	}
+	total := nP + nL + nX
+	maxLit := uint64(2 * nVars)
+	structs := make([]clause, total)
+	cls := make([]*clause, total)
+	for i := 0; i < total; i++ {
+		c := &structs[i]
+		cls[i] = c
+		flags, err := r.byte("clause flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags&^(snapFlagLearnt|snapFlagDeleted) != 0 {
+			return nil, fmt.Errorf("%w: unknown clause flags %#x", ErrBadSnapshot, flags)
+		}
+		c.learnt = flags&snapFlagLearnt != 0
+		c.deleted = flags&snapFlagDeleted != 0
+		// Section membership must agree with the learnt flag so the two
+		// clause lists stay coherent with DB-reduction bookkeeping.
+		if i < nP && c.learnt {
+			return nil, fmt.Errorf("%w: learnt clause in problem section", ErrBadSnapshot)
+		}
+		if i >= nP && i < nP+nL && !c.learnt {
+			return nil, fmt.Errorf("%w: problem clause in learnt section", ErrBadSnapshot)
+		}
+		lbd, err := r.uvarint("clause lbd")
+		if err != nil {
+			return nil, err
+		}
+		if lbd > uint64(nVars)+1 {
+			return nil, fmt.Errorf("%w: clause lbd %d out of range", ErrBadSnapshot, lbd)
+		}
+		c.lbd = int(lbd)
+		if c.activity, err = r.f64("clause activity"); err != nil {
+			return nil, err
+		}
+		if !finiteNonNeg(c.activity) {
+			return nil, fmt.Errorf("%w: non-finite clause activity", ErrBadSnapshot)
+		}
+		n, err := r.count("clause length")
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 {
+			// Units live on the trail and empty clauses flip okay; a
+			// stored clause below two literals breaks watch invariants.
+			return nil, fmt.Errorf("%w: clause of length %d", ErrBadSnapshot, n)
+		}
+		c.lits = make([]lit, n)
+		for j := 0; j < n; j++ {
+			lv, err := r.uvarint("clause literal")
+			if err != nil {
+				return nil, err
+			}
+			if lv >= maxLit {
+				return nil, fmt.Errorf("%w: literal %d out of range", ErrBadSnapshot, lv)
+			}
+			c.lits[j] = lit(lv)
+		}
+	}
+
+	nTrail, err := r.count("trail length")
+	if err != nil {
+		return nil, err
+	}
+	if nTrail > nVars || qh64 > uint64(nTrail) {
+		return nil, fmt.Errorf("%w: trail length %d / qhead %d out of range", ErrBadSnapshot, nTrail, qh64)
+	}
+	trail := make([]lit, nTrail)
+	assigns := make([]lbool, nVars)
+	for i := range trail {
+		lv, err := r.uvarint("trail literal")
+		if err != nil {
+			return nil, err
+		}
+		if lv >= maxLit {
+			return nil, fmt.Errorf("%w: trail literal %d out of range", ErrBadSnapshot, lv)
+		}
+		l := lit(lv)
+		if assigns[l.v()] != lUndef {
+			return nil, fmt.Errorf("%w: variable %d assigned twice on trail", ErrBadSnapshot, l.v()+1)
+		}
+		assigns[l.v()] = boolToLbool(!l.sign())
+		trail[i] = l
+	}
+
+	polBytes := (nVars + 7) / 8
+	if r.rem() < polBytes {
+		return nil, r.fail("polarity bits")
+	}
+	polarity := make([]bool, nVars)
+	for v := 0; v < nVars; v++ {
+		polarity[v] = r.b[r.off+v/8]&(1<<(v%8)) != 0
+	}
+	r.off += polBytes
+
+	actFlag, err := r.byte("activity flag")
+	if err != nil {
+		return nil, err
+	}
+	activity := make([]float64, nVars)
+	if actFlag == 1 {
+		for v := 0; v < nVars; v++ {
+			a, err := r.f64("variable activity")
+			if err != nil {
+				return nil, err
+			}
+			if !finiteNonNeg(a) {
+				return nil, fmt.Errorf("%w: non-finite variable activity", ErrBadSnapshot)
+			}
+			activity[v] = a
+		}
+	} else if actFlag != 0 {
+		return nil, fmt.Errorf("%w: unknown activity flag %d", ErrBadSnapshot, actFlag)
+	}
+
+	nHeap, err := r.count("order heap length")
+	if err != nil {
+		return nil, err
+	}
+	if nHeap > nVars {
+		return nil, fmt.Errorf("%w: order heap longer than variable count", ErrBadSnapshot)
+	}
+	heap := make([]int, nHeap)
+	indices := make([]int, nVars)
+	for i := range indices {
+		indices[i] = -1
+	}
+	for i := range heap {
+		v64, err := r.uvarint("order heap entry")
+		if err != nil {
+			return nil, err
+		}
+		if v64 >= uint64(nVars) {
+			return nil, fmt.Errorf("%w: order heap variable %d out of range", ErrBadSnapshot, v64)
+		}
+		v := int(v64)
+		if indices[v] != -1 {
+			return nil, fmt.Errorf("%w: variable %d twice in order heap", ErrBadSnapshot, v+1)
+		}
+		indices[v] = i
+		heap[i] = v
+	}
+
+	reason := make([]*clause, nVars)
+	for v := 0; v < nVars; v++ {
+		id, err := r.uvarint("reason reference")
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			continue
+		}
+		if id > uint64(total) {
+			return nil, fmt.Errorf("%w: reason clause %d out of range", ErrBadSnapshot, id-1)
+		}
+		if assigns[v] == lUndef {
+			return nil, fmt.Errorf("%w: reason on unassigned variable %d", ErrBadSnapshot, v+1)
+		}
+		reason[v] = cls[id-1]
+	}
+
+	watches := make([][]watcher, 2*nVars)
+	watchCount := make([]int32, total)
+	for li := 0; li < 2*nVars; li++ {
+		n, err := r.count("watch list length")
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			continue
+		}
+		ws := make([]watcher, n)
+		for j := 0; j < n; j++ {
+			cid, err := r.uvarint("watcher clause")
+			if err != nil {
+				return nil, err
+			}
+			if cid >= uint64(total) {
+				return nil, fmt.Errorf("%w: watcher clause %d out of range", ErrBadSnapshot, cid)
+			}
+			bl, err := r.uvarint("watcher blocker")
+			if err != nil {
+				return nil, err
+			}
+			if bl >= maxLit {
+				return nil, fmt.Errorf("%w: watcher blocker %d out of range", ErrBadSnapshot, bl)
+			}
+			c := cls[cid]
+			if !c.deleted {
+				// Propagation assumes a live watcher sits in the list of
+				// the negation of one of the clause's first two literals;
+				// anything else could mis-propagate or mis-index.
+				if lit(li) != c.lits[0].flip() && lit(li) != c.lits[1].flip() {
+					return nil, fmt.Errorf("%w: watcher misplaced for live clause %d", ErrBadSnapshot, cid)
+				}
+				watchCount[cid]++
+			}
+			ws[j] = watcher{c: c, blocker: lit(bl)}
+		}
+		watches[li] = ws
+	}
+	for i, c := range cls {
+		if !c.deleted && watchCount[i] != 2 {
+			return nil, fmt.Errorf("%w: live clause %d has %d watchers (want 2)", ErrBadSnapshot, i, watchCount[i])
+		}
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.rem())
+	}
+
+	n := &Solver{
+		opts:         Options{},
+		nVars:        nVars,
+		clauses:      cls[0:nP:nP],
+		learnts:      cls[nP : nP+nL : nP+nL],
+		watches:      watches,
+		assigns:      assigns,
+		level:        make([]int32, nVars), // level-0 snapshot: all zero
+		reason:       reason,
+		polarity:     polarity,
+		trail:        trail,
+		qhead:        int(qh64),
+		activity:     activity,
+		varInc:       varInc,
+		claInc:       claInc,
+		seen:         make([]byte, nVars),
+		okay:         okayByte != 0,
+		maxLearnts:   maxLearnts,
+		learntGrowth: learntGrowth,
+		restartBase:  int64(rb64),
+	}
+	n.order = &varHeap{activity: &n.activity, heap: heap, indices: indices}
+	return n, nil
+}

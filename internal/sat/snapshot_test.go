@@ -1,0 +1,263 @@
+package sat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// snapshotStates enumerates solver states worth snapshotting: pristine,
+// post-Simplify (deleted stragglers in watch lists), post-Solve (learnts,
+// activities, saved phases), and top-level-contradictory.
+func snapshotStates(t *testing.T) map[string]*Solver {
+	t.Helper()
+	states := make(map[string]*Solver)
+
+	fresh := NewSolver()
+	satInstance(fresh)
+	states["fresh"] = fresh
+
+	simplified := NewSolver()
+	satInstance(simplified)
+	simplified.AddClause(1)
+	simplified.Simplify()
+	states["simplified"] = simplified
+
+	solved := NewSolver()
+	php(solved, 5)
+	if st := solved.Solve(); st != Unsat {
+		t.Fatalf("php(6,5): got %v, want Unsat", st)
+	}
+	states["solved"] = solved
+
+	solvedSat := NewSolver()
+	satInstance(solvedSat)
+	if st := solvedSat.Solve(); st != Sat {
+		t.Fatalf("satInstance: got %v, want Sat", st)
+	}
+	states["solved-sat"] = solvedSat
+
+	contradictory := NewSolver()
+	contradictory.AddClause(1)
+	contradictory.AddClause(-1)
+	states["contradictory"] = contradictory
+
+	return states
+}
+
+// TestSnapshotRestoreSolvesIdentically is the restore-equivalence
+// differential: a restored solver must behave exactly like a Clone of the
+// original — same statuses, same models, same search statistics — across
+// the representative solver states.
+func TestSnapshotRestoreSolvesIdentically(t *testing.T) {
+	for name, s := range snapshotStates(t) {
+		t.Run(name, func(t *testing.T) {
+			clone := s.Clone()
+			restored, err := RestoreSnapshot(s.Snapshot())
+			if err != nil {
+				t.Fatalf("RestoreSnapshot: %v", err)
+			}
+			assumps := [][]Lit{nil, {-1}, {1, 7}}
+			if s.NumVars() < 7 {
+				assumps = [][]Lit{nil, {-1}, {1}}
+			}
+			for _, as := range assumps {
+				stC := clone.SolveAssuming(as)
+				stR := restored.SolveAssuming(as)
+				if stC != stR {
+					t.Fatalf("assuming %v: clone %v, restored %v", as, stC, stR)
+				}
+				if !reflect.DeepEqual(clone.Model(), restored.Model()) {
+					t.Fatalf("assuming %v: models differ\nclone    %v\nrestored %v",
+						as, clone.Model(), restored.Model())
+				}
+				if !reflect.DeepEqual(clone.FinalConflict(), restored.FinalConflict()) {
+					t.Fatalf("assuming %v: final conflicts differ: clone %v, restored %v",
+						as, clone.FinalConflict(), restored.FinalConflict())
+				}
+				if clone.Stats() != restored.Stats() {
+					t.Fatalf("assuming %v: search diverged: clone %+v, restored %+v",
+						as, clone.Stats(), restored.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterministic: the same solver state must serialize to the
+// same bytes, and a restored solver must re-serialize to those bytes —
+// snapshots are canonical, which the disk cache's CRC story relies on.
+func TestSnapshotDeterministic(t *testing.T) {
+	for name, s := range snapshotStates(t) {
+		t.Run(name, func(t *testing.T) {
+			snap := s.Snapshot()
+			if again := s.Snapshot(); !bytes.Equal(snap, again) {
+				t.Fatalf("two snapshots of one state differ (%d vs %d bytes)", len(snap), len(again))
+			}
+			restored, err := RestoreSnapshot(snap)
+			if err != nil {
+				t.Fatalf("RestoreSnapshot: %v", err)
+			}
+			if resnap := restored.Snapshot(); !bytes.Equal(snap, resnap) {
+				t.Fatalf("restored solver re-serializes differently (%d vs %d bytes)", len(snap), len(resnap))
+			}
+		})
+	}
+}
+
+// TestSnapshotIndependence: mutating a restored solver must not leak into
+// the original (they share no clause storage).
+func TestSnapshotIndependence(t *testing.T) {
+	a := NewSolver()
+	satInstance(a)
+	restored, err := RestoreSnapshot(a.Snapshot())
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	restored.AddClause(-1)
+	restored.AddClause(-2)
+	restored.AddClause(-3)
+	if st := restored.Solve(); st != Unsat {
+		t.Fatalf("restored with extra clauses: got %v, want Unsat", st)
+	}
+	if st := a.Solve(); st != Sat {
+		t.Fatalf("original after restored mutated: got %v, want Sat", st)
+	}
+}
+
+func TestSnapshotPanicsAboveLevelZero(t *testing.T) {
+	s := NewSolver()
+	satInstance(s)
+	s.trailLim = append(s.trailLim, len(s.trail)) // simulate an open decision level
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Snapshot above level 0 did not panic")
+		}
+	}()
+	s.Snapshot()
+}
+
+// TestRestoreSnapshotRejectsTruncation: every proper prefix of a valid
+// snapshot must fail with ErrBadSnapshot — never panic, never succeed.
+func TestRestoreSnapshotRejectsTruncation(t *testing.T) {
+	s := NewSolver()
+	satInstance(s)
+	s.Solve()
+	snap := s.Snapshot()
+	for n := 0; n < len(snap); n++ {
+		if _, err := RestoreSnapshot(snap[:n]); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("prefix of %d/%d bytes: got err %v, want ErrBadSnapshot", n, len(snap), err)
+		}
+	}
+	// Trailing garbage is also rejected: the format is self-delimiting.
+	if _, err := RestoreSnapshot(append(append([]byte{}, snap...), 0)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("trailing byte: got err %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestRestoreSnapshotOOMGuard: hostile length prefixes must be rejected
+// before any allocation proportional to the claimed (not actual) size.
+func TestRestoreSnapshotOOMGuard(t *testing.T) {
+	// A header that declares ~2^50 variables in a few dozen bytes.
+	huge := binary.LittleEndian.AppendUint32(nil, snapshotVersion)
+	huge = binary.AppendUvarint(huge, 1<<50)
+	if _, err := RestoreSnapshot(huge); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("huge nVars: got err %v, want ErrBadSnapshot", err)
+	}
+
+	// A plausible small header followed by a clause section that claims
+	// 2^40 clauses.
+	s := NewSolver()
+	satInstance(s)
+	snap := s.Snapshot()
+	r := &snapReader{b: snap}
+	r.u32("version")
+	r.uvarint("nVars")
+	r.byte("okay")
+	r.uvarint("qhead")
+	r.uvarint("restartBase")
+	for i := 0; i < 4; i++ {
+		r.f64("scalar")
+	}
+	forged := append([]byte{}, snap[:r.off]...)
+	forged = binary.AppendUvarint(forged, 1<<40)
+	if _, err := RestoreSnapshot(forged); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("huge clause count: got err %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestRestoreSnapshotRejectsWrongVersion(t *testing.T) {
+	s := NewSolver()
+	satInstance(s)
+	snap := s.Snapshot()
+	binary.LittleEndian.PutUint32(snap, snapshotVersion+1)
+	if _, err := RestoreSnapshot(snap); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("future version: got err %v, want ErrBadSnapshot", err)
+	}
+}
+
+// restoreBudgetedProbe solve-checks a restored solver under a tight budget
+// so fuzz inputs that restore successfully can't stall the fuzzer.
+func restoreBudgetedProbe(s *Solver) {
+	if s.NumVars() > 1<<12 {
+		return
+	}
+	s.SetBudget(200, 2000)
+	s.Solve()
+}
+
+// FuzzRestoreSnapshot hammers the decoder with mutated snapshots. The
+// contract under arbitrary bytes: a typed error or a structurally sound
+// solver — never a panic, never an input-amplifying allocation. When the
+// decode succeeds, the restored solver must survive a (budgeted) solve
+// and re-serialize to bytes that restore again.
+func FuzzRestoreSnapshot(f *testing.F) {
+	seed := func(build func(s *Solver)) {
+		s := NewSolver()
+		build(s)
+		f.Add(s.Snapshot())
+	}
+	seed(func(s *Solver) { satInstance(s) })
+	seed(func(s *Solver) {
+		satInstance(s)
+		s.AddClause(1)
+		s.Simplify()
+	})
+	seed(func(s *Solver) {
+		php(s, 4)
+		s.Solve()
+	})
+	seed(func(s *Solver) {
+		s.AddClause(1)
+		s.AddClause(-1)
+	})
+	seed(func(s *Solver) {}) // empty solver
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		s, err := RestoreSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("non-typed error from RestoreSnapshot: %v", err)
+			}
+			if s != nil {
+				t.Fatalf("RestoreSnapshot returned both a solver and an error")
+			}
+			return
+		}
+		// The decode accepted the bytes, so they describe a structurally
+		// valid level-0 solver; solving it must not fault.
+		restoreBudgetedProbe(s)
+		// And the accepted state must round-trip.
+		resnap := s.Snapshot()
+		if _, err := RestoreSnapshot(resnap); err != nil {
+			t.Fatalf("re-snapshot of accepted input failed to restore: %v", err)
+		}
+	})
+}

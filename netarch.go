@@ -76,13 +76,19 @@ type (
 	// or parallel queries over the same scenario shape never recompile.
 	// Engine.CacheStats, Engine.SetCacheCapacity and
 	// Engine.InvalidateCache observe and control the cache.
+	// Engine.SetCacheDir adds a persistent disk tier: frozen bases are
+	// snapshotted to versioned, checksummed files and revived on startup,
+	// so even a fresh process skips the first compile (corrupt or stale
+	// files downgrade to a silent recompile, never a wrong answer);
+	// Engine.SetDiskCacheLimit bounds the directory.
 	// Enumeration (EnumerateCtx, Enumerate, DisambiguateCtx) itself runs
 	// on a pool of cloned solvers — Engine.SetWorkers sizes it (default
 	// runtime.GOMAXPROCS(0)) — with results guaranteed independent of the
 	// worker count.
 	Engine = core.Engine
 	// CacheStats reports the engine's compiled-base cache: size,
-	// capacity, and lifetime hit/miss counters.
+	// capacity, lifetime hit/miss counters, and — when a cache directory
+	// is set — the disk tier's hit/miss/write/evict/corrupt counters.
 	CacheStats = core.CacheStats
 	// GreedyReasoner is the weak baseline of the §5.2 comparison.
 	GreedyReasoner = core.GreedyReasoner
