@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke bench bench-smoke clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke alloc-budget bench bench-smoke bench-diff clean
+
+# BENCH is the JSON file the bench target writes and bench-diff compares
+# against; point it at the next PR's file when cutting a new baseline.
+BENCH ?= BENCH_PR5.json
 
 build:
 	$(GO) build ./...
@@ -20,18 +24,32 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkCompile -benchtime=1x .
 
 # bench runs the full root benchmark suite with allocation stats and
-# renders the results to BENCH_PR4.json (name -> ns/op, B/op, allocs/op)
+# renders the results to $(BENCH) (name -> ns/op, B/op, allocs/op)
 # via the stdlib-only parser in cmd/benchjson. Commit the JSON to track
 # the perf trajectory.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee /tmp/netarch-bench.txt
-	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > BENCH_PR4.json
+	$(GO) run ./cmd/benchjson < /tmp/netarch-bench.txt > $(BENCH)
 
-# parallel-diff pins the parallel-vs-sequential enumeration differential
-# (the DESIGN.md §8 determinism contract over the §5.1 queries) so the
-# gate names it even though `test` also covers it.
+# bench-diff runs the bench suite and prints per-benchmark deltas against
+# the newest committed BENCH_*.json instead of writing a new file — the
+# quick "did my change move the needle" loop between baseline cuts.
+bench-diff:
+	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee /tmp/netarch-bench.txt
+	$(GO) run ./cmd/benchjson -diff "$$(ls BENCH_PR*.json | sort -V | tail -1)" < /tmp/netarch-bench.txt
+
+# alloc-budget pins the hot-path allocation budgets (zero-alloc
+# propagate, bounded warm cache-hit queries) so allocation regressions
+# fail the gate even though `test` also covers them.
+alloc-budget:
+	$(GO) test -run='TestPropagateAllocFree|TestWarmQueryAllocBudget' -count=1 ./internal/sat ./internal/core
+
+# parallel-diff pins the parallel-vs-sequential differentials (the
+# DESIGN.md §8 enumeration determinism contract and the §11 sharded
+# compile byte-identity, both over the §5.1 queries) so the gate names
+# them even though `test` also covers them.
 parallel-diff:
-	$(GO) test -run='TestEnumerateParallel|TestEnumerateWorkerCountInvariance' -count=1 . ./internal/core
+	$(GO) test -run='TestEnumerateParallel|TestEnumerateWorkerCountInvariance|TestParallelCompileByteIdentity' -count=1 . ./internal/core
 
 # snapshot-diff pins the disk-cache round-trip differential (the
 # DESIGN.md §9 restore-equivalence contract): a solver revived from
@@ -50,9 +68,9 @@ fuzz-smoke:
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
 # analysis, the race detector over every package, the enumeration and
-# snapshot differentials, a fuzz smoke over both snapshot decoders, and
-# a benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff fuzz-smoke bench-smoke
+# snapshot differentials, the hot-path allocation budgets, a fuzz smoke
+# over both snapshot decoders, and a benchmark smoke run.
+verify: build vet test race parallel-diff snapshot-diff alloc-budget fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -14,11 +14,19 @@
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored. A benchmark that appears more than once (e.g. -count>1)
 // keeps the minimum ns/op run, the conventional "best of N" summary.
+//
+// With -diff OLD.json, instead of emitting JSON it compares the run on
+// stdin against a previously committed baseline and prints a
+// per-benchmark delta table (ns/op, B/op, allocs/op, each with a
+// percentage). Benchmarks present on only one side are listed as added
+// or removed. `make bench-diff` wires this against the newest committed
+// BENCH_*.json.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -78,6 +86,9 @@ func parseLine(line string) (string, result, bool) {
 }
 
 func main() {
+	diffBase := flag.String("diff", "", "baseline BENCH_*.json to diff the run on stdin against")
+	flag.Parse()
+
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -97,6 +108,14 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *diffBase != "" {
+		if err := printDiff(*diffBase, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	names := make([]string, 0, len(results))
@@ -124,4 +143,78 @@ func main() {
 		fmt.Fprintf(out, "  %q: %s%s\n", n, blob, comma)
 	}
 	fmt.Fprintln(out, "}")
+}
+
+// printDiff renders a per-benchmark delta table of the new results
+// against the baseline file. Negative percentages are improvements for
+// every column (less time, fewer bytes, fewer allocations).
+func printDiff(basePath string, new map[string]result) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	old := make(map[string]result)
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+
+	names := make([]string, 0, len(new)+len(old))
+	for n := range new {
+		names = append(names, n)
+	}
+	for n := range old {
+		if _, ok := new[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintf(out, "vs %s:\n", basePath)
+	fmt.Fprintf(out, "%-55s %25s %25s %25s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, n := range names {
+		nr, inNew := new[n]
+		or, inOld := old[n]
+		switch {
+		case !inOld:
+			fmt.Fprintf(out, "%-55s %25s\n", n, "(added)")
+		case !inNew:
+			fmt.Fprintf(out, "%-55s %25s\n", n, "(removed)")
+		default:
+			fmt.Fprintf(out, "%-55s %25s %25s %25s\n", n,
+				deltaCol(or.NsPerOp, nr.NsPerOp),
+				deltaCol(float64(or.BPerOp), float64(nr.BPerOp)),
+				deltaCol(float64(or.AllocsPerOp), float64(nr.AllocsPerOp)))
+		}
+	}
+	return nil
+}
+
+// deltaCol formats "old -> new (+x.x%)" for one measurement column;
+// missing values (-1, from runs without -benchmem) render as "-".
+func deltaCol(old, new float64) string {
+	if old < 0 || new < 0 {
+		return "-"
+	}
+	pct := ""
+	if old > 0 {
+		pct = fmt.Sprintf(" (%+.1f%%)", 100*(new-old)/old)
+	}
+	return fmt.Sprintf("%s -> %s%s", humanize(old), humanize(new), pct)
+}
+
+// humanize renders a count with k/M/G suffixes so wide columns stay
+// readable; small integers print exactly.
+func humanize(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
 }

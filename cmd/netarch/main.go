@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -72,57 +74,111 @@ Cache flags:
                       including disk hit/miss/evict/corrupt counters
   -rounds N           (multi) rounds of synth+explain+optimize (default 3)
 
+Profiling flags (before the command: netarch -cpuprofile=cpu.out synth ...):
+  -cpuprofile FILE    write a pprof CPU profile for the whole run to FILE
+  -memprofile FILE    write a pprof heap profile on exit to FILE
+
 Exit codes: 0 success, 1 error, 2 usage, 4 resource budget exhausted
 before a verdict. Degraded-but-useful answers (approximate explanations,
 truncated enumerations) exit 0 and are labelled in the output.
 `
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprint(os.Stderr, usage)
-		os.Exit(2)
+	os.Exit(run())
+}
+
+// run dispatches the subcommand and returns the process exit code. It
+// exists so the deferred profile writers fire on every path — os.Exit
+// in main would skip them.
+func run() int {
+	global := flag.NewFlagSet("netarch", flag.ContinueOnError)
+	global.Usage = func() { fmt.Fprint(os.Stderr, usage) }
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile for the whole run to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile on exit to this file")
+	if err := global.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
+	args := global.Args()
+	if len(args) < 1 {
+		fmt.Fprint(os.Stderr, usage)
+		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netarch: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netarch: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netarch: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect dead objects so the profile shows live heap
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "netarch: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "experiments":
-		err = cmdExperiments(os.Args[2:])
+		err = cmdExperiments(args[1:])
 	case "synth":
-		err = cmdSolve(os.Args[2:], "synth")
+		err = cmdSolve(args[1:], "synth")
 	case "check":
-		err = cmdCheck(os.Args[2:])
+		err = cmdCheck(args[1:])
 	case "optimize":
-		err = cmdSolve(os.Args[2:], "optimize")
+		err = cmdSolve(args[1:], "optimize")
 	case "explain":
-		err = cmdSolve(os.Args[2:], "explain")
+		err = cmdSolve(args[1:], "explain")
 	case "suggest":
-		err = cmdSolve(os.Args[2:], "suggest")
+		err = cmdSolve(args[1:], "suggest")
 	case "disambiguate":
-		err = cmdSolve(os.Args[2:], "disambiguate")
+		err = cmdSolve(args[1:], "disambiguate")
 	case "multi":
-		err = cmdMulti(os.Args[2:])
+		err = cmdMulti(args[1:])
 	case "catalog":
-		err = cmdCatalog(os.Args[2:])
+		err = cmdCatalog(args[1:])
 	case "kb":
-		err = cmdKB(os.Args[2:])
+		err = cmdKB(args[1:])
 	case "extract":
-		err = cmdExtract(os.Args[2:])
+		err = cmdExtract(args[1:])
 	case "viz":
-		err = cmdViz(os.Args[2:])
+		err = cmdViz(args[1:])
 	case "pfc":
-		err = cmdPFC(os.Args[2:])
-	case "help", "-h", "--help":
+		err = cmdPFC(args[1:])
+	case "help":
 		fmt.Print(usage)
 	default:
-		fmt.Fprintf(os.Stderr, "netarch: unknown command %q\n\n%s", os.Args[1], usage)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "netarch: unknown command %q\n\n%s", args[0], usage)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netarch: %v\n", err)
 		if netarch.IsResourceExhausted(err) {
-			os.Exit(4)
+			return 4
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func cmdExperiments(args []string) error {

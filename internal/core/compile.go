@@ -25,9 +25,17 @@ type compiled struct {
 	kb     *kb.KB
 	sc     *Scenario
 	vocab  *logic.Vocabulary
-	cv     *logic.Converter
 	solver *sat.Solver
 	arith  *intlin.Builder
+
+	// pending accumulates the boolean assertions in emission order during
+	// the section methods; compileBase converts them to CNF in one shot
+	// (sharded across workers, deterministically merged — see
+	// logic.ConvertShards) and clears the list. Deferring conversion this
+	// way fixes the atom variable space before the first auxiliary
+	// variable is allocated, which is what makes per-assertion conversion
+	// order-free.
+	pending []logic.Formula
 
 	sysLit map[string]sat.Lit
 	hwLit  map[string]sat.Lit
@@ -104,8 +112,6 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 		pinnedCtx:  make(map[string]bool),
 		derivedCtx: make(map[string]bool),
 	}
-	c.cv = logic.NewConverter(c.vocab)
-
 	if err := c.pickWorkloads(); err != nil {
 		return nil, err
 	}
@@ -130,17 +136,32 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 		return nil, err
 	}
 
-	// Boolean phase done: materialize the CNF into a solver, then bolt
-	// the arithmetic circuits on top of the same variable space.
+	// Boolean phase done: every named atom (and pre-freeze selector) is
+	// in the vocabulary, so the assertion list can be converted to CNF in
+	// one shot — sharded across workers and merged deterministically, so
+	// the compiled base is byte-identical for every worker count. The
+	// anonymous Tseitin variables land in one block after the atoms; pad
+	// the vocabulary to cover them so vocabulary and solver keep agreeing
+	// on the variable space.
+	base := c.vocab.Len()
+	cnf := logic.ConvertShards(base, c.pending, e.enumWorkers())
+	c.pending = nil
+	for v := base; v < cnf.NumVars; v++ {
+		c.vocab.Fresh("")
+	}
+
+	// Materialize the CNF into a solver, then bolt the arithmetic
+	// circuits on top of the same variable space.
 	c.solver = sat.NewSolver()
 	if e.fault != nil {
 		c.solver.SetFaultHook(e.fault)
 	}
 	c.solver.EnsureVars(c.vocab.Len())
-	for _, cl := range c.cv.CNF.Clauses {
-		lits := make([]sat.Lit, len(cl))
-		for i, l := range cl {
-			lits[i] = sat.Lit(l)
+	var lits []sat.Lit
+	for _, cl := range cnf.Clauses {
+		lits = lits[:0]
+		for _, l := range cl {
+			lits = append(lits, sat.Lit(l))
 		}
 		c.solver.AddClause(lits...)
 	}
@@ -231,10 +252,20 @@ func (c *compiled) addSelector(name, note string) sat.Lit {
 	return l
 }
 
+// assert queues a boolean assertion for the one-shot CNF conversion at
+// the end of the boolean phase. Only valid before the CNF is
+// materialized (atoms inside f must live in the shared vocabulary).
+func (c *compiled) assert(f logic.Formula) {
+	if c.frozen {
+		panic("core: assert after CNF materialization")
+	}
+	c.pending = append(c.pending, f)
+}
+
 // assertGuarded asserts f under a named selector.
 func (c *compiled) assertGuarded(name, note string, f logic.Formula) {
 	l := c.addSelector(name, note)
-	c.cv.Assert(logic.Implies(logic.V(logic.Var(l)), f))
+	c.assert(logic.Implies(logic.V(logic.Var(l)), f))
 }
 
 // declareVars allocates the well-known variables in a stable order so the
@@ -295,7 +326,7 @@ func (c *compiled) hardwareSelection() {
 		// Pairwise at-most-one (unguarded: definitional structure).
 		for i := 0; i < len(atoms); i++ {
 			for j := i + 1; j < len(atoms); j++ {
-				c.cv.Assert(logic.Or(logic.Not(atoms[i]), logic.Not(atoms[j])))
+				c.assert(logic.Or(logic.Not(atoms[i]), logic.Not(atoms[j])))
 			}
 		}
 		// SKUs outside the allowed set are off.
@@ -306,7 +337,7 @@ func (c *compiled) hardwareSelection() {
 		for _, h := range c.kb.HardwareByKind(kind) {
 			if !allowedSet[h.Name] {
 				if _, declared := c.hwLit[h.Name]; declared {
-					c.cv.Assert(logic.Not(logic.V(c.hwVar(h.Name))))
+					c.assert(logic.Not(logic.V(c.hwVar(h.Name))))
 				}
 			}
 		}
@@ -339,7 +370,7 @@ func (c *compiled) capabilityDefinitions() {
 		sort.Strings(names)
 		for _, name := range names {
 			cap := kb.Capability(name)
-			c.cv.Assert(logic.Iff(logic.V(c.capVar(kind, cap)), logic.Or(caps[kind][cap]...)))
+			c.assert(logic.Iff(logic.V(c.capVar(kind, cap)), logic.Or(caps[kind][cap]...)))
 		}
 	}
 }
@@ -502,7 +533,7 @@ func (c *compiled) propertyDefinitions() {
 	}
 	sort.Strings(props)
 	for _, p := range props {
-		c.cv.Assert(logic.Iff(
+		c.assert(logic.Iff(
 			logic.V(c.propVar(kb.Property(p))),
 			logic.Or(provides[kb.Property(p)]...)))
 	}
@@ -525,7 +556,7 @@ func (c *compiled) propertyDefinitions() {
 	}
 	sort.Strings(missing)
 	for _, p := range missing {
-		c.cv.Assert(logic.Not(logic.V(c.propVar(kb.Property(p)))))
+		c.assert(logic.Not(logic.V(c.propVar(kb.Property(p)))))
 	}
 }
 

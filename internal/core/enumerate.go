@@ -4,7 +4,6 @@ import (
 	"context"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -13,12 +12,16 @@ import (
 
 // This file implements design-class enumeration (§6 "identify equivalence
 // classes of system deployments") as a governed, parallel blocking-clause
-// loop. A pool of cloned solvers explores disjoint cubes of the class
-// space concurrently, a coordinator shares every admitted class's
-// blocking clause across the pool, and each class's reported Design is
-// re-solved canonically on a pristine clone — which is what makes the
-// result independent of the worker count and of scheduling. DESIGN.md §8
-// documents the determinism contract and its one capped-result caveat.
+// loop. The class space is split into a fixed set of disjoint cubes
+// (independent of the worker count), each cube is drained on a fresh
+// clone of the pristine template with only its own blocking clauses — so
+// every cube's class-and-model sequence is a pure function of the
+// compiled instance — and the per-cube results are merged in cube order,
+// cut at the class cap. That purity is the whole determinism argument:
+// no per-class canonicalization re-solve is needed (PR 3 paid one clone
+// + solve per class for it, back when workers shared blocking clauses
+// and discovery models were scheduling-dependent), and capped results
+// need no sequential replay. DESIGN.md §8 documents the contract.
 
 // EnumerateResult is the outcome of a governed enumeration: the design
 // classes found, plus an explicit account of whether — and why — the
@@ -99,12 +102,11 @@ func (e *Engine) Enumerate(sc Scenario, max int) ([]*Design, error) {
 //
 // Enumeration runs on a worker pool of solver clones (see SetWorkers):
 // the compiled instance is specialized once into a pristine template,
-// workers clone it and drain disjoint cubes of the class space, and a
-// coordinator shares each admitted class's blocking clause across the
-// pool so no worker re-derives another's class. Every admitted class is
-// then re-solved on a fresh clone with the class pinned, so the reported
-// Design is canonical — a function of the compiled instance, not of
-// discovery order. See EnumerateResult for the determinism contract.
+// the class space is split into a fixed set of disjoint cubes, and
+// workers drain cubes — each on a fresh clone of the template, so the
+// cube's class sequence (models included) cannot depend on what any
+// other cube (or worker) did. See EnumerateResult for the determinism
+// contract.
 func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budget) (*EnumerateResult, error) {
 	base, shared, err := e.baseFor(&sc)
 	if err != nil {
@@ -119,7 +121,7 @@ func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budge
 	r := &enumRun{
 		g:   g,
 		tpl: e.specialize(base, &sc, solver),
-		co:  &enumCoord{max: max, seen: make(map[string]bool)},
+		co:  &enumCoord{max: max},
 	}
 	return r.run(e.enumWorkers()), nil
 }
@@ -260,59 +262,75 @@ func (g *enumGov) done() {
 }
 
 // enumClass is one admitted equivalence class: its (sorted) system set
-// and the design reported for it — the canonical model once
-// canonicalization succeeds, the discovery model if a budget tripped
-// first.
+// and the design reported for it. The discovery model is already
+// canonical — the cube's solver evolves deterministically from the
+// pristine template, untouched by other cubes or workers.
 type enumClass struct {
-	key     string
 	systems []string
 	design  *Design
 }
 
-func classKeyOf(systems []string) string { return strings.Join(systems, "\x00") }
-
-// enumCoord collects admitted classes under one lock. Workers propose
-// candidate classes with admit and import each other's blocking clauses
-// from snapshot, so no worker re-derives a class already found
-// elsewhere.
+// enumCoord collects per-cube results under one lock. Every cube's class
+// sequence is a pure function of the compiled instance (fresh clone, own
+// blocking clauses only — see drain), so the merged, capped class list
+// is deterministic for any worker count: capped runs no longer need a
+// sequential replay.
 type enumCoord struct {
 	max int
 
-	mu      sync.Mutex
-	seen    map[string]bool
-	classes []*enumClass
-	full    bool
+	mu    sync.Mutex
+	cubes []cubeResult
 }
 
-// admit records a candidate class. cls is nil when the class was already
-// known or the cap had been reached; full reports that discovery is over
-// because max classes are now admitted.
-func (co *enumCoord) admit(d *Design) (cls *enumClass, full bool) {
-	key := classKeyOf(d.Systems)
+// cubeResult is one cube's outcome: the classes discovered in order, and
+// whether the cube was drained to Unsat (its list provably complete). A
+// cube stopped at the per-cube cap or by a budget trip stays
+// inexhausted.
+type cubeResult struct {
+	classes   []*enumClass
+	exhausted bool
+}
+
+func (co *enumCoord) append(cube int, cls *enumClass) {
+	co.mu.Lock()
+	co.cubes[cube].classes = append(co.cubes[cube].classes, cls)
+	co.mu.Unlock()
+}
+
+func (co *enumCoord) markExhausted(cube int) {
+	co.mu.Lock()
+	co.cubes[cube].exhausted = true
+	co.mu.Unlock()
+}
+
+// merge assembles the result list: cubes in index order, classes in
+// within-cube discovery order, cut at max. complete reports that the
+// list is provably the whole class space — every cube drained to Unsat
+// and nothing was cut — which is what lets an exact-fit enumeration
+// (space size == max) come back untruncated.
+func (co *enumCoord) merge() (out []*enumClass, complete bool) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	if co.full || co.seen[key] {
-		return nil, co.full
+	complete = true
+	total := 0
+	for i := range co.cubes {
+		total += len(co.cubes[i].classes)
+		if !co.cubes[i].exhausted {
+			complete = false
+		}
 	}
-	cls = &enumClass{key: key, systems: d.Systems, design: d}
-	co.seen[key] = true
-	co.classes = append(co.classes, cls)
-	if len(co.classes) >= co.max {
-		co.full = true
+	if total > co.max {
+		complete = false
 	}
-	return cls, co.full
-}
-
-func (co *enumCoord) snapshot() []*enumClass {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	return co.classes[:len(co.classes):len(co.classes)]
-}
-
-func (co *enumCoord) isFull() bool {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	return co.full
+	for i := range co.cubes {
+		for _, cls := range co.cubes[i].classes {
+			if len(out) >= co.max {
+				return out, complete
+			}
+			out = append(out, cls)
+		}
+	}
+	return out, complete
 }
 
 // fork views the shared compilation artifacts over a private solver.
@@ -325,20 +343,23 @@ func (c *compiled) fork(s *sat.Solver) *compiled {
 	return &n
 }
 
-// blockingClause is the clause forcing at least one system-set
-// difference from the given class. Literals follow the sorted system
-// vocabulary: clause literal order shapes the solver's watch setup and
-// hence its search, so map-order iteration here would make replayed
-// enumerations diverge.
-func (c *compiled) blockingClause(systems []string) []sat.Lit {
-	member := make(map[string]bool, len(systems))
-	for _, s := range systems {
-		member[s] = true
-	}
-	block := make([]sat.Lit, 0, len(c.sysNames))
+// blockingClause appends, to buf, the clause forcing at least one
+// system-set difference from the given class. Literals follow the sorted
+// system vocabulary: clause literal order shapes the solver's watch
+// setup and hence its search, so map-order iteration here would make
+// repeated enumerations diverge. systems is sorted (designFromModel
+// sorts it), so membership is a two-pointer merge against sysNames — no
+// per-class set, and callers reuse one buffer across a whole cube drain
+// (AddClause copies the literals).
+func (c *compiled) blockingClause(systems []string, buf []sat.Lit) []sat.Lit {
+	block := buf[:0]
+	j := 0
 	for _, name := range c.sysNames {
 		l := c.sysLit[name]
-		if member[name] {
+		for j < len(systems) && systems[j] < name {
+			j++
+		}
+		if j < len(systems) && systems[j] == name {
 			l = l.Flip()
 		}
 		block = append(block, l)
@@ -346,35 +367,19 @@ func (c *compiled) blockingClause(systems []string) []sat.Lit {
 	return block
 }
 
-// canonicalAssumptions pins exactly the given system set on top of the
-// query selectors. Solving a pristine clone under these assumptions
-// yields the class's canonical model: a deterministic function of the
-// compiled instance alone.
-func (c *compiled) canonicalAssumptions(systems []string) []sat.Lit {
-	member := make(map[string]bool, len(systems))
-	for _, s := range systems {
-		member[s] = true
-	}
-	out := c.assumptions()
-	for _, name := range c.sysNames {
-		l := c.sysLit[name]
-		if !member[name] {
-			l = l.Flip()
-		}
-		out = append(out, l)
-	}
-	return out
-}
-
 // cubeAssumptions splits the class space into 2^k disjoint cubes — the
-// assignments of the first k sorted system variables — sized for about
-// two cubes per worker (so the pool load-balances) and capped at 64.
-// Every class satisfies exactly one cube, so parallel workers explore
-// disjoint regions and cannot race to re-derive one class.
-func cubeAssumptions(tpl *compiled, workers int) [][]sat.Lit {
-	k := 0
-	for 1<<k < 2*workers && k < len(tpl.sysNames) && k < 6 {
-		k++
+// assignments of the first k sorted system variables. The split is a
+// fixed function of the instance, NOT of the worker count: cube results
+// feed the deterministic capped merge, so the same cubes must exist no
+// matter how many workers drain them. k is capped at 3 (8 cubes): enough
+// cubes to keep a typical pool busy, few enough that the per-cube
+// overhead (one clone, one closing Unsat solve each) stays negligible.
+// Every class satisfies exactly one cube, so cubes cannot re-derive each
+// other's classes and cross-cube blocking clauses would be vacuous.
+func cubeAssumptions(tpl *compiled) [][]sat.Lit {
+	k := len(tpl.sysNames)
+	if k > 3 {
+		k = 3
 	}
 	cubes := make([][]sat.Lit, 1<<k)
 	for m := range cubes {
@@ -400,9 +405,8 @@ type enumRun struct {
 	co  *enumCoord
 }
 
-// run drives the enumeration: discovery (parallel over cubes when
-// workers > 1 and the projection is large enough to split), then the
-// deterministic finish.
+// run drives the enumeration: cube discovery (parallel when workers > 1),
+// then the deterministic merge.
 func (r *enumRun) run(workers int) *EnumerateResult {
 	res := &EnumerateResult{}
 	if r.co.max <= 0 {
@@ -416,105 +420,84 @@ func (r *enumRun) run(workers int) *EnumerateResult {
 	if len(r.tpl.sysNames) == 0 {
 		return r.emptyProjection(res)
 	}
+	cubes := cubeAssumptions(r.tpl)
+	r.co.cubes = make([]cubeResult, len(cubes))
+	ch := make(chan int, len(cubes))
+	for i := range cubes {
+		ch <- i
+	}
+	close(ch)
+	if workers > len(cubes) {
+		workers = len(cubes)
+	}
 	if workers <= 1 {
-		r.drain(oneCube())
+		r.drain(ch, cubes)
 	} else {
-		cubes := cubeAssumptions(r.tpl, workers)
-		ch := make(chan []sat.Lit, len(cubes))
-		for _, cu := range cubes {
-			ch <- cu
-		}
-		close(ch)
-		n := workers
-		if n > len(cubes) {
-			n = len(cubes)
-		}
 		var wg sync.WaitGroup
-		wg.Add(n)
-		for i := 0; i < n; i++ {
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
 			go func() {
 				defer wg.Done()
-				r.drain(ch)
+				r.drain(ch, cubes)
 			}()
 		}
 		wg.Wait()
 	}
-	return r.finish(res, workers)
+	return r.finish(res)
 }
 
-// oneCube is the degenerate cube list of the single-worker path: the
-// whole space, no splitting assumptions.
-func oneCube() <-chan []sat.Lit {
-	ch := make(chan []sat.Lit, 1)
-	ch <- nil
-	close(ch)
-	return ch
-}
-
-// drain is one worker: a private clone of the template draining cubes
-// until they run out or discovery stops. Each worker also keeps its own
-// pristine snapshot of the template to clone canonicalization solvers
-// from: a clone of a clone is the same snapshot, and per-worker sources
-// keep the pool off the template's clone lock.
-func (r *enumRun) drain(cubes <-chan []sat.Lit) {
-	c := r.tpl.fork(r.tpl.solver.Clone())
-	pristine := c.solver.Clone()
-	release := r.g.adopt(c.solver)
-	defer release()
-	blocked := make(map[string]bool)
-	for cube := range cubes {
-		if !r.solveCube(c, pristine, cube, blocked) {
+// drain is one worker: it pulls cube indices until they run out or
+// discovery stops, solving every cube on a FRESH clone of the pristine
+// template — which worker drains which cube, and in what order, cannot
+// leak into any cube's result. The template itself is never solved, so
+// concurrent clones straight off it are safe; the worker carries one
+// reusable blocking-clause buffer across its cubes.
+func (r *enumRun) drain(cubes <-chan int, cubeAssumps [][]sat.Lit) {
+	var blockBuf []sat.Lit
+	for i := range cubes {
+		c := r.tpl.fork(r.tpl.solver.Clone())
+		release := r.g.adopt(c.solver)
+		ok := r.solveCube(c, i, cubeAssumps[i], &blockBuf)
+		release()
+		if !ok {
 			return
 		}
 	}
 }
 
-// solveCube enumerates the classes inside one cube, admitting each to
-// the coordinator and canonicalizing it as soon as it is admitted.
-// Returns false when discovery must stop: cap reached, budget tripped,
-// or context fired. blocked tracks which classes this worker's solver
-// already carries blocking clauses for, across cubes.
-func (r *enumRun) solveCube(c *compiled, pristine *sat.Solver, cube []sat.Lit, blocked map[string]bool) bool {
+// solveCube enumerates the classes inside one cube, delivering each to
+// the coordinator as it is admitted. The reported design is the
+// discovery model itself: the cube's solver is a fresh clone of the
+// pristine template evolving only by its own (sorted, deterministic)
+// blocking clauses, so the k-th model of cube i is a pure function of
+// the compiled instance — no per-class canonicalization re-solve is
+// needed, which saves one template clone and one from-scratch solve per
+// class. The cube stops early — without being marked exhausted — after
+// max classes: the merge never takes more than max classes from any
+// cube prefix, so draining further is wasted work. Returns false when
+// the whole discovery must stop: budget tripped or context fired.
+func (r *enumRun) solveCube(c *compiled, idx int, cube []sat.Lit, blockBuf *[]sat.Lit) bool {
 	assumps := c.assumptions()
 	assumps = append(assumps, cube...)
+	found := 0
 	for {
-		if r.g.stopped() || r.co.isFull() {
+		if r.g.stopped() {
 			return false
-		}
-		// Import blocking clauses for classes admitted elsewhere: the
-		// coordinator's shared list keeps workers from re-deriving each
-		// other's classes.
-		for _, cls := range r.co.snapshot() {
-			if !blocked[cls.key] {
-				blocked[cls.key] = true
-				c.solver.AddClause(c.blockingClause(cls.systems)...)
-			}
 		}
 		r.g.phase(c.solver)
 		switch c.solver.SolveAssuming(assumps) {
 		case sat.Sat:
 			d := c.designFromModel()
-			cls, full := r.co.admit(d)
-			if cls != nil {
-				if cd, ok := r.canonicalize(pristine, cls.systems); ok {
-					cls.design = cd
-				} else if r.g.hasTripped() {
-					// The budget tripped mid-canonicalization: the class
-					// keeps its discovery model and enumeration stops,
-					// labeled through the governor.
-					return false
-				}
+			r.co.append(idx, &enumClass{systems: d.Systems, design: d})
+			found++
+			if found >= r.co.max {
+				return true // per-cube cap; cube stays inexhausted
 			}
-			if full {
-				return false
-			}
-			key := classKeyOf(d.Systems)
-			if !blocked[key] {
-				blocked[key] = true
-				c.solver.AddClause(c.blockingClause(d.Systems)...)
-			}
+			*blockBuf = c.blockingClause(d.Systems, *blockBuf)
+			c.solver.AddClause(*blockBuf...)
 		case sat.Unsat:
-			return true // cube exhausted; on to the next
+			r.co.markExhausted(idx)
+			return true // cube provably drained; on to the next
 		default:
 			r.g.tripFrom(c.solver)
 			return false
@@ -522,89 +505,29 @@ func (r *enumRun) solveCube(c *compiled, pristine *sat.Solver, cube []sat.Lit, b
 	}
 }
 
-// canonicalize re-solves the class on a fresh clone of the worker's
-// pristine template snapshot with exactly this system set pinned. A
-// clone is a verbatim snapshot and two clones of the same solver run
-// identical searches, so the model — and hence the Design — is a
-// deterministic function of the compiled instance, not of which worker
-// discovered the class or of what its solver had learned by then.
-func (r *enumRun) canonicalize(pristine *sat.Solver, systems []string) (*Design, bool) {
-	c := r.tpl.fork(pristine.Clone())
-	release := r.g.adopt(c.solver)
-	defer release()
-	r.g.phase(c.solver)
-	switch c.solver.SolveAssuming(c.canonicalAssumptions(systems)) {
-	case sat.Sat:
-		return c.designFromModel(), true
-	case sat.Unsat:
-		// Unreachable: the pinned set was just satisfied by a solver
-		// carrying strictly more clauses. Keep the discovery model.
-		return nil, false
-	default:
-		r.g.tripFrom(c.solver)
-		return nil, false
-	}
-}
-
-// spaceExhausted probes whether the admitted classes cover the whole
-// space: one solve on a fresh clone with every admitted class blocked.
-// Unsat means the cap coincided with exhaustion, so the admitted set is
-// the complete (worker-count-independent) set and no replay is needed.
-func (r *enumRun) spaceExhausted() bool {
-	c := r.tpl.fork(r.tpl.solver.Clone())
-	release := r.g.adopt(c.solver)
-	defer release()
-	for _, cls := range r.co.snapshot() {
-		c.solver.AddClause(c.blockingClause(cls.systems)...)
-	}
-	r.g.phase(c.solver)
-	switch c.solver.SolveAssuming(c.assumptions()) {
-	case sat.Unsat:
-		return true
-	case sat.Sat:
-		return false
-	default:
-		r.g.tripFrom(c.solver)
-		return false
-	}
-}
-
-// replay reruns discovery single-worker from a fresh clone: same
-// pristine template, no cube split, so it admits exactly the classes —
-// in exactly the order — a workers=1 run admits.
-func (r *enumRun) replay() {
-	r.co = &enumCoord{max: r.co.max, seen: make(map[string]bool)}
-	r.drain(oneCube())
-}
-
-// finish assembles the deterministic result. Three outcomes:
+// finish assembles the deterministic result from the cube merge. Three
+// outcomes:
 //   - budget tripped: partial designs plus the typed Exhausted error,
 //     exactly as the sequential path reported;
-//   - cap reached ("limit"): with several workers the admitted subset
-//     depends on scheduling, so it is returned directly only when a
-//     probe proves it is the whole space; otherwise a single-worker
-//     replay reproduces the sequential prefix byte-for-byte — capped
-//     results trade the speedup for determinism;
-//   - otherwise every cube ran dry: Designs is provably complete.
-func (r *enumRun) finish(res *EnumerateResult, workers int) *EnumerateResult {
-	limited := r.co.isFull()
-	if limited && !r.g.hasTripped() && workers > 1 && !r.spaceExhausted() && !r.g.hasTripped() {
-		r.replay()
-	}
+//   - the merge was cut at max, or some needed cube was not drained:
+//     Truncated with Reason "limit" — more classes may exist;
+//   - otherwise every cube ran dry and nothing was cut: Designs is
+//     provably complete (an exact fit of space size == max included).
+func (r *enumRun) finish(res *EnumerateResult) *EnumerateResult {
+	classes, complete := r.co.merge()
+	res.Designs = sortDesigns(classes)
 	if r.g.hasTripped() {
 		res.Truncated = true
 		res.Exhausted = r.g.exhausted()
 		res.Reason = res.Exhausted.Cause
-		res.Designs = r.designs()
 		res.Spent = res.Exhausted.Spent
 		return res
 	}
-	if limited {
+	if !complete {
 		// Stopped at the class cap: more classes may exist.
 		res.Truncated = true
 		res.Reason = "limit"
 	}
-	res.Designs = r.designs()
 	res.Spent = r.g.spent()
 	return res
 }
@@ -635,12 +558,11 @@ func (r *enumRun) emptyProjection(res *EnumerateResult) *EnumerateResult {
 	return res
 }
 
-// designs returns the admitted designs sorted element-wise by system
+// sortDesigns returns the merged designs sorted element-wise by system
 // set. (Comparing fmt.Sprint of the slices, as the pre-refactor sort
 // did, is ambiguous — ["a b","c"] renders like ["a","b c"] — and
 // allocates on every comparison.)
-func (r *enumRun) designs() []*Design {
-	classes := r.co.snapshot()
+func sortDesigns(classes []*enumClass) []*Design {
 	if len(classes) == 0 {
 		return nil
 	}

@@ -261,9 +261,9 @@ func TestEnumerateLimitTruncation(t *testing.T) {
 
 func TestEnumerateBudgetTruncation(t *testing.T) {
 	// The hook lets the first class be discovered and interrupts the
-	// second solve (its canonicalization pass): the partial result —
-	// carrying the discovery model — must come back labeled, never
-	// silently. One worker so the shared solve counter is deterministic.
+	// second solve (the next discovery): the partial result must come
+	// back labeled, never silently. One worker so the shared solve
+	// counter is deterministic.
 	e := mustEngine(t, miniKB())
 	e.SetWorkers(1)
 	solves := 0
@@ -362,15 +362,16 @@ func TestSuggestExhaustion(t *testing.T) {
 
 func TestDisambiguateIncomplete(t *testing.T) {
 	// One worker so the shared solve counter is deterministic: each class
-	// costs two solves (discovery + canonicalization), so tripping on the
-	// fifth solve yields exactly two classes before the cut.
+	// costs one solve (the discovery model is already canonical — see
+	// enumerate.go), so tripping on the third solve yields exactly two
+	// classes before the cut.
 	e := mustEngine(t, miniKB())
 	e.SetWorkers(1)
 	solves := 0
 	e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
 		if ev == sat.EventSolve {
 			solves++
-			return solves >= 5 // find two classes, trip on the third discovery
+			return solves >= 3 // find two classes, trip on the third solve
 		}
 		return false
 	})

@@ -43,7 +43,9 @@ var baseSnapshotMagic = [8]byte{'N', 'A', 'B', 'A', 'S', 'E', 1, '\n'}
 
 // baseSnapshotVersion is the envelope format version; bump on any
 // incompatible change (the embedded solver section carries its own).
-const baseSnapshotVersion = 1
+// v2: the arena solver snapshot (sat snapshot v2) plus the sharded CNF
+// conversion, which renumbers auxiliary variables relative to v1 bases.
+const baseSnapshotVersion = 2
 
 // Snapshot decode failure classes.
 var (

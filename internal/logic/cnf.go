@@ -111,6 +111,20 @@ type Converter struct {
 	// the same rule body is asserted repeatedly (common for generated
 	// knowledge bases).
 	cache map[string]Lit
+
+	// fresh, when non-nil, replaces Vocab.Fresh("") as the auxiliary-
+	// variable allocator. Shard converters (ConvertShards) use it to
+	// number aux variables from a local counter so each assertion can be
+	// converted independently of every other.
+	fresh func() Var
+}
+
+// freshAux allocates one auxiliary variable.
+func (cv *Converter) freshAux() Var {
+	if cv.fresh != nil {
+		return cv.fresh()
+	}
+	return cv.Vocab.Fresh("")
 }
 
 // NewConverter returns a Converter emitting into a fresh CNF.
@@ -165,7 +179,7 @@ func (cv *Converter) lit(f Formula) Lit {
 		return cv.negLit(f.args[0])
 	case KindTrue, KindFalse:
 		// Handled by Simplify in Assert; still be defensive.
-		v := cv.Vocab.Fresh("")
+		v := cv.freshAux()
 		cv.growTo(v)
 		if f.kind == KindTrue {
 			cv.CNF.AddClause(Lit(v))
@@ -178,7 +192,7 @@ func (cv *Converter) lit(f Formula) Lit {
 	if l, ok := cv.cache[key]; ok {
 		return l
 	}
-	v := cv.Vocab.Fresh("")
+	v := cv.freshAux()
 	cv.growTo(v)
 	d := Lit(v)
 	switch f.kind {

@@ -1,0 +1,99 @@
+package logic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ConvertShards converts a sequence of assertions to one CNF by converting
+// each assertion independently — possibly on a pool of workers — and
+// merging the per-assertion clause buffers deterministically.
+//
+// Every variable occurring in fs must be ≤ base (the caller's vocabulary
+// size when the assertion list was finished). Each assertion is converted
+// by a private shard converter whose auxiliary variables are numbered from
+// a local counter starting at base+1, with a per-shard Tseitin cache; the
+// merge then rewrites assertion i's local aux variables to
+// base + offset(i) + k, where offset(i) is the total aux count of
+// assertions 0..i-1, and concatenates the clause buffers in assertion
+// order.
+//
+// Because shard i's clauses are a pure function of (base, fs[i]) and the
+// merge is a pure function of the shard sequence, the result is
+// byte-identical for every worker count — workers trade CPU for latency,
+// nothing else. The price relative to one shared converter is the loss of
+// cross-assertion subformula caching: a subformula repeated across
+// assertions gets one definition per assertion instead of one overall.
+// (Within an assertion the cache still deduplicates.)
+//
+// The returned CNF has NumVars = base + total aux count, so callers can
+// pad their vocabulary to cover the auxiliary block.
+func ConvertShards(base int, fs []Formula, workers int) *CNF {
+	type shard struct {
+		clauses []Clause
+		numAux  int
+	}
+	shards := make([]shard, len(fs))
+	convert := func(i int) {
+		next := Var(base)
+		cv := &Converter{
+			CNF:   &CNF{NumVars: base},
+			cache: make(map[string]Lit),
+			fresh: func() Var { next++; return next },
+		}
+		cv.Assert(fs[i])
+		shards[i] = shard{clauses: cv.CNF.Clauses, numAux: int(next) - base}
+	}
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	if workers <= 1 {
+		for i := range fs {
+			convert(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(fs) {
+						return
+					}
+					convert(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	nClauses := 0
+	for i := range shards {
+		nClauses += len(shards[i].clauses)
+	}
+	out := &CNF{Clauses: make([]Clause, 0, nClauses)}
+	off := 0
+	for i := range shards {
+		// Shift this shard's local aux variables (> base) past the aux
+		// blocks of every earlier shard; named atoms (≤ base) are global
+		// and pass through unchanged.
+		for _, cl := range shards[i].clauses {
+			for j, l := range cl {
+				if int(l.Var()) > base {
+					shifted := Lit(int(l.Var()) + off)
+					if l < 0 {
+						shifted = -shifted
+					}
+					cl[j] = shifted
+				}
+			}
+			out.Clauses = append(out.Clauses, cl)
+		}
+		off += shards[i].numAux
+	}
+	out.NumVars = base + off
+	return out
+}

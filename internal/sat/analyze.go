@@ -5,7 +5,7 @@ import "sort"
 // analyze derives a first-UIP learnt clause from a conflict, minimizes it,
 // and returns the clause (asserting literal first), the backjump level, and
 // the clause's LBD (number of distinct decision levels).
-func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel, lbd int) {
+func (s *Solver) analyze(confl cref) (learnt []lit, backLevel, lbd int) {
 	// learnt grows in the recycled learntBuf; callers (recordLearnt,
 	// logLearnt) copy before storing, so the buffer is free again by the
 	// next conflict.
@@ -17,14 +17,14 @@ func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel, lbd int) {
 
 	for {
 		// Bump and scan the conflict/reason clause.
-		if confl.learnt {
+		if s.ca.learnt(confl) {
 			s.bumpClause(confl)
 		}
 		start := 0
 		if havePath {
 			start = 1 // lits[0] is the literal we just resolved on
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range s.ca.lits(confl)[start:] {
 			v := q.v()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
@@ -53,7 +53,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel, lbd int) {
 		// Invariant: a reason clause has its implied literal first. While
 		// a clause is locked as a reason its first literal stays true, so
 		// propagation never reorders it.
-		if confl.lits[0] != p {
+		if s.ca.lits(confl)[0] != p {
 			panic("sat: reason clause invariant violated")
 		}
 	}
@@ -111,7 +111,7 @@ func (s *Solver) minimize(learnt *[]lit) {
 	}
 	out := ls[:1]
 	for _, q := range ls[1:] {
-		if s.reason[q.v()] == nil || !s.redundant(q, 0) {
+		if s.reason[q.v()] == crefUndef || !s.redundant(q, 0) {
 			out = append(out, q)
 		} else {
 			s.seen[q.v()] = 0 // dropped
@@ -127,17 +127,17 @@ func (s *Solver) redundant(q lit, depth int) bool {
 		return false
 	}
 	r := s.reason[q.v()]
-	if r == nil {
+	if r == crefUndef {
 		return false
 	}
-	for _, p := range r.lits {
+	for _, p := range s.ca.lits(r) {
 		if p.v() == q.v() {
 			continue
 		}
 		if s.level[p.v()] == 0 || s.seen[p.v()] != 0 {
 			continue
 		}
-		if s.reason[p.v()] == nil || !s.redundant(p, depth+1) {
+		if s.reason[p.v()] == crefUndef || !s.redundant(p, depth+1) {
 			return false
 		}
 		// p proved redundant: mark so repeated walks shortcut. We must
@@ -165,12 +165,12 @@ func (s *Solver) analyzeFinal(p lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == crefUndef {
 			// A decision above level 0 while assumptions are pending is
 			// itself an assumption; report it as assumed.
 			s.conflict = append(s.conflict, toExternal(s.trail[i]))
 		} else {
-			for _, q := range s.reason[v].lits {
+			for _, q := range s.ca.lits(s.reason[v]) {
 				if q.v() != v && s.level[q.v()] > 0 {
 					s.seen[q.v()] = 1
 				}
@@ -208,11 +208,12 @@ func (s *Solver) bumpVar(v int) {
 }
 
 // bumpClause increases a learnt clause's activity.
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(c cref) {
+	act := s.ca.activity(c) + s.claInc
+	s.ca.setActivity(c, act)
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -238,25 +239,27 @@ func (s *Solver) clearTransient() {
 func (s *Solver) reduceDB() {
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return a.lbd <= 2 // glue clauses first (kept)
+		aGlue, bGlue := s.ca.lbd(a) <= 2, s.ca.lbd(b) <= 2
+		if aGlue != bGlue {
+			return aGlue // glue clauses first (kept)
 		}
-		return a.activity > b.activity
+		return s.ca.activity(a) > s.ca.activity(b)
 	})
 	keep := s.learnts[:0]
-	locked := func(c *clause) bool {
-		v := c.lits[0].v()
+	locked := func(c cref) bool {
+		v := s.ca.lits(c)[0].v()
 		return s.assigns[v] != lUndef && s.reason[v] == c
 	}
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if i < limit || c.lbd <= 2 || locked(c) || len(c.lits) == 2 {
+		if i < limit || s.ca.lbd(c) <= 2 || locked(c) || s.ca.size(c) == 2 {
 			keep = append(keep, c)
 		} else {
 			s.detachAll(c)
-			s.logDelete(c)
+			s.logDelete(s.ca.lits(c))
 			s.stats.Deleted++
 		}
 	}
 	s.learnts = keep
+	s.maybeCompact()
 }

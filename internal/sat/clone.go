@@ -9,6 +9,13 @@ package sat
 // base caching: compile (and Simplify) once, then hand every query its
 // own private snapshot.
 //
+// With the arena clause database, Clone is a near-memcpy: the whole
+// clause DB is one slab copy, and clause references (crefs) mean the same
+// clause in source and copy, so the clause lists, watch lists, and reason
+// array copy verbatim with no per-clause work. Clone is read-only on the
+// source; any number of goroutines may clone one frozen solver
+// concurrently (the compiled-base cache does exactly that).
+//
 // Clone may only be called at decision level 0 (i.e. not from inside a
 // Solve callback); it panics otherwise. The copy deliberately resets
 // per-run state rather than inheriting it:
@@ -27,12 +34,6 @@ func (s *Solver) Clone() *Solver {
 	if s.decisionLevel() != 0 {
 		panic("sat: Clone called above decision level 0")
 	}
-	// Clone leaves forwarding marks (clause.cloneIdx) in the source
-	// clauses while it runs; serialize so concurrent clones of one
-	// solver — the compiled-base cache clones a shared base from many
-	// query goroutines — never see each other's marks.
-	s.cloneMu.Lock()
-	defer s.cloneMu.Unlock()
 	n := &Solver{
 		opts:         s.opts,
 		nVars:        s.nVars,
@@ -44,69 +45,12 @@ func (s *Solver) Clone() *Solver {
 		learntGrowth: s.learntGrowth,
 		restartBase:  s.restartBase,
 	}
+	n.ca = s.ca.clone()
+	n.clauses = append([]cref(nil), s.clauses...)
+	n.learnts = append([]cref(nil), s.learnts...)
+	n.reason = make([]cref, len(s.reason), s.nVars+32)
+	copy(n.reason, s.reason)
 
-	// Deleted clauses are detached lazily, so watch lists and reasons may
-	// reference clauses that are in neither s.clauses nor s.learnts; the
-	// memoized cloneClause maps those on demand, preserving identity.
-	// Memoization uses forwarding marks written into the source clauses
-	// (cloneIdx = 1+index into dsts, reset before returning) rather than a
-	// pointer map — on an 80k-clause base the map's inserts and lookups
-	// were the bulk of Clone's cost. Clause structs and their literal
-	// arrays come from two slabs sized for the live database (one
-	// allocation each instead of two per clause); lazily-discovered
-	// stragglers fall back to the heap.
-	nClauses := len(s.clauses) + len(s.learnts)
-	nLits := 0
-	for _, c := range s.clauses {
-		nLits += len(c.lits)
-	}
-	for _, c := range s.learnts {
-		nLits += len(c.lits)
-	}
-	clauseSlab := make([]clause, nClauses)
-	litSlab := make([]lit, nLits)
-	srcs := make([]*clause, 0, nClauses)
-	dsts := make([]*clause, 0, nClauses)
-	cloneClause := func(c *clause) *clause {
-		if c == nil {
-			return nil
-		}
-		if c.cloneIdx != 0 {
-			return dsts[c.cloneIdx-1]
-		}
-		var d *clause
-		if len(clauseSlab) > 0 {
-			d = &clauseSlab[0]
-			clauseSlab = clauseSlab[1:]
-		} else {
-			d = new(clause)
-		}
-		if len(c.lits) <= len(litSlab) {
-			// Full-slice cap: runtime appends (there are none on clause
-			// lits, but belt and braces) can never bleed into a neighbor.
-			d.lits = litSlab[:len(c.lits):len(c.lits)]
-			litSlab = litSlab[len(c.lits):]
-			copy(d.lits, c.lits)
-		} else {
-			d.lits = append([]lit(nil), c.lits...)
-		}
-		d.learnt = c.learnt
-		d.deleted = c.deleted
-		d.activity = c.activity
-		d.lbd = c.lbd
-		srcs = append(srcs, c)
-		dsts = append(dsts, d)
-		c.cloneIdx = int32(len(dsts))
-		return d
-	}
-	n.clauses = make([]*clause, len(s.clauses))
-	for i, c := range s.clauses {
-		n.clauses[i] = cloneClause(c)
-	}
-	n.learnts = make([]*clause, len(s.learnts))
-	for i, c := range s.learnts {
-		n.learnts[i] = cloneClause(c)
-	}
 	// Watch lists are copied verbatim rather than re-attached: their order
 	// determines propagation order, and a clone must search identically.
 	// One watcher slab backs every list; full-slice caps keep runtime
@@ -115,38 +59,37 @@ func (s *Solver) Clone() *Solver {
 	for _, ws := range s.watches {
 		nWatchers += len(ws)
 	}
-	watcherSlab := make([]watcher, nWatchers)
-	n.watches = make([][]watcher, len(s.watches))
+	watcherSlab := make([]watcher, 0, nWatchers)
+	n.watches = make([][]watcher, len(s.watches), 2*(s.nVars+32))
 	for i, ws := range s.watches {
 		if len(ws) == 0 {
 			continue
 		}
-		nw := watcherSlab[:len(ws):len(ws)]
-		watcherSlab = watcherSlab[len(ws):]
-		for j, w := range ws {
-			nw[j] = watcher{c: cloneClause(w.c), blocker: w.blocker}
-		}
-		n.watches[i] = nw
-	}
-	n.reason = make([]*clause, len(s.reason))
-	for i, c := range s.reason {
-		n.reason[i] = cloneClause(c)
+		off := len(watcherSlab)
+		watcherSlab = append(watcherSlab, ws...)
+		n.watches[i] = watcherSlab[off:len(watcherSlab):len(watcherSlab)]
 	}
 
-	// Reset the forwarding marks so the source is pristine for the next
-	// Clone (and so a clone of the clone starts unmarked — the slab
-	// structs were zeroed on allocation and marked only via srcs).
-	for _, c := range srcs {
-		c.cloneIdx = 0
-	}
-
-	n.assigns = append([]lbool(nil), s.assigns...)
-	n.level = append([]int32(nil), s.level...)
-	n.polarity = append([]bool(nil), s.polarity...)
-	n.trail = append([]lit(nil), s.trail...)
+	// Per-variable slices carry a little slack capacity: queries layer a
+	// handful of selector variables onto each clone (NewVar), and exact-
+	// capacity slices would make the first of those reallocate every
+	// per-variable array at full size.
+	const slack = 32
+	nv := s.nVars + slack
+	n.assigns = make([]lbool, len(s.assigns), nv)
+	copy(n.assigns, s.assigns)
+	n.level = make([]int32, len(s.level), nv)
+	copy(n.level, s.level)
+	n.polarity = make([]bool, len(s.polarity), nv)
+	copy(n.polarity, s.polarity)
+	// The trail grows toward nVars during search; size it once.
+	n.trail = make([]lit, len(s.trail), nv)
+	copy(n.trail, s.trail)
 	n.trailLim = append([]int(nil), s.trailLim...)
-	n.activity = append([]float64(nil), s.activity...)
+	n.activity = make([]float64, len(s.activity), nv)
+	copy(n.activity, s.activity)
 	n.order = s.order.clone(&n.activity)
-	n.seen = make([]byte, len(s.seen))
+	n.order.grow(nv)
+	n.seen = make([]byte, len(s.seen), nv)
 	return n
 }

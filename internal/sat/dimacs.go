@@ -81,7 +81,7 @@ func WriteDIMACS(w io.Writer, s *Solver) error {
 	bw := bufio.NewWriter(w)
 	live := 0
 	for _, c := range s.clauses {
-		if !c.deleted {
+		if !s.ca.deleted(c) {
 			live++
 		}
 	}
@@ -100,10 +100,10 @@ func WriteDIMACS(w io.Writer, s *Solver) error {
 		fmt.Fprintf(bw, "%d 0\n", int32(toExternal(s.trail[i])))
 	}
 	for _, c := range s.clauses {
-		if c.deleted {
+		if s.ca.deleted(c) {
 			continue
 		}
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			fmt.Fprintf(bw, "%d ", int32(toExternal(l)))
 		}
 		fmt.Fprintln(bw, 0)

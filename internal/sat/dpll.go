@@ -13,7 +13,7 @@ func (s *Solver) solveDPLL() Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			if s.fireFault(EventConflict) {
 				s.Interrupt()
@@ -34,7 +34,7 @@ func (s *Solver) solveDPLL() Status {
 			// Re-open the level with the flipped phase.
 			s.trailLim = append(s.trailLim, len(s.trail))
 			s.flipped = append(s.flipped, true)
-			s.uncheckedEnqueue(dec.flip(), nil)
+			s.uncheckedEnqueue(dec.flip(), crefUndef)
 			continue
 		}
 		v := s.pickBranchVar()
@@ -45,7 +45,7 @@ func (s *Solver) solveDPLL() Status {
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.flipped = append(s.flipped, false)
-		s.uncheckedEnqueue(s.decisionLit(v), nil)
+		s.uncheckedEnqueue(s.decisionLit(v), crefUndef)
 		if s.conflictsExhausted() {
 			return Unknown
 		}

@@ -23,6 +23,21 @@ func (h *varHeap) clone(activity *[]float64) *varHeap {
 	}
 }
 
+// grow pre-sizes the heap's backing arrays for n variables (see
+// Solver.EnsureVars).
+func (h *varHeap) grow(n int) {
+	if cap(h.heap) < n {
+		heap := make([]int, len(h.heap), n)
+		copy(heap, h.heap)
+		h.heap = heap
+	}
+	if cap(h.indices) < n {
+		indices := make([]int, len(h.indices), n)
+		copy(indices, h.indices)
+		h.indices = indices
+	}
+}
+
 func (h *varHeap) less(a, b int) bool {
 	act := *h.activity
 	return act[a] > act[b]

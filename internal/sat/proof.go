@@ -51,12 +51,12 @@ func (s *Solver) logLearnt(lits []lit) {
 	s.proof.Steps = append(s.proof.Steps, ProofStep{Clause: ext})
 }
 
-func (s *Solver) logDelete(c *clause) {
+func (s *Solver) logDelete(lits []lit) {
 	if s.proof == nil {
 		return
 	}
-	ext := make([]Lit, len(c.lits))
-	for i, l := range c.lits {
+	ext := make([]Lit, len(lits))
+	for i, l := range lits {
 		ext[i] = toExternal(l)
 	}
 	s.proof.Steps = append(s.proof.Steps, ProofStep{Clause: ext, Delete: true})

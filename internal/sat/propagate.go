@@ -1,9 +1,9 @@
 package sat
 
 // propagate performs unit propagation over all enqueued literals using
-// two-watched literals. It returns the conflicting clause, or nil if the
-// queue drained without conflict.
-func (s *Solver) propagate() *clause {
+// two-watched literals. It returns the conflicting clause, or crefUndef if
+// the queue drained without conflict.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true; visit watchers of p (stored under p)
 		s.qhead++
@@ -16,7 +16,7 @@ func (s *Solver) propagate() *clause {
 		n := 0
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if w.c.deleted {
+			if s.ca.deleted(w.c) {
 				continue // lazily drop deleted clauses
 			}
 			// Fast path: blocker already true.
@@ -28,12 +28,13 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			c := w.c
+			cl := s.ca.lits(c)
 			// Ensure the false literal (¬p) is at position 1.
 			falseLit := p.flip()
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if cl[0] == falseLit {
+				cl[0], cl[1] = cl[1], cl[0]
 			}
-			first := c.lits[0]
+			first := cl[0]
 			if first != w.blocker && s.value(first) == lTrue {
 				ws[n] = watcher{c, first}
 				n++
@@ -41,10 +42,10 @@ func (s *Solver) propagate() *clause {
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].flip()] = append(s.watches[c.lits[1].flip()], watcher{c, first})
+			for k := 2; k < len(cl); k++ {
+				if s.value(cl[k]) != lFalse {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1].flip()] = append(s.watches[cl[1].flip()], watcher{c, first})
 					found = true
 					break
 				}
@@ -66,5 +67,5 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[p] = ws[:n]
 	}
-	return nil
+	return crefUndef
 }

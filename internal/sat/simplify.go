@@ -21,23 +21,24 @@ func (s *Solver) Simplify() int {
 	}
 	removed := 0
 
-	// Pass 1: strengthen against root assignments.
+	// Pass 1: strengthen against root assignments. AddClause appends to
+	// both s.clauses and the arena; the range snapshots the clause list,
+	// and crefs stay valid across arena appends, but literal slices must
+	// not be held across the AddClause call.
 	for _, c := range s.clauses {
-		if c.deleted {
+		if s.ca.deleted(c) {
 			continue
 		}
+		cl := s.ca.lits(c)
 		satisfied := false
-		kept := c.lits[:0]
 		dropped := 0
-		for _, l := range c.lits {
+		for _, l := range cl {
 			switch s.value(l) {
 			case lTrue:
 				satisfied = true
 			case lFalse:
 				dropped++
-				continue
 			}
-			kept = append(kept, l)
 			if satisfied {
 				break
 			}
@@ -52,9 +53,11 @@ func (s *Solver) Simplify() int {
 		}
 		// Rebuild the clause under its new length. Watches may now point
 		// at removed literals; re-adding via AddClause keeps invariants.
-		lits := make([]Lit, len(kept))
-		for i, l := range kept {
-			lits[i] = toExternal(l)
+		lits := make([]Lit, 0, len(cl)-dropped)
+		for _, l := range cl {
+			if s.value(l) != lFalse {
+				lits = append(lits, toExternal(l))
+			}
 		}
 		s.detachAll(c)
 		removed += dropped
@@ -75,75 +78,120 @@ func (s *Solver) Simplify() int {
 	// sharing its least-occurring variable — any clause it subsumes (or
 	// strengthens) must contain that variable in one polarity or the
 	// other, so the occurrence list is a complete candidate set.
+	//
+	// Literal membership in the candidate subsumer is tested against a
+	// generation-stamped mark array (one uint64 per internal literal)
+	// instead of a per-clause hash set: marking the small clause is a
+	// handful of stores, each membership probe one load, and nothing is
+	// allocated per clause. The subsume/strengthen decisions depend only
+	// on aggregate counts (and on flipLit, which is unique when flips ==
+	// 1), so the outcome is identical to the set-based version.
 	type entry struct {
-		c   *clause
+		c   cref
 		sig uint64
-		set map[lit]bool
 	}
-	var entries []entry
-	occ := make([][]int32, s.nVars) // var → indices of entries containing it
+	if len(s.simpMark) < 2*s.nVars {
+		s.simpMark = make([]uint64, 2*s.nVars)
+		s.simpGen = 0
+	}
+	mark := s.simpMark
+	// Occurrence lists in CSR form: one counting pass sizes a flat slab
+	// and per-variable offsets exactly, so building them is three fixed
+	// allocations instead of append-growing one slice per variable.
+	nLive, totalLits := 0, 0
 	for _, c := range s.clauses {
-		if c.deleted {
+		if !s.ca.deleted(c) {
+			nLive++
+			totalLits += s.ca.size(c)
+		}
+	}
+	entries := make([]entry, 0, nLive)
+	occStart := make([]int32, s.nVars+1) // var v's list is occSlab[occStart[v]:occStart[v+1]]
+	for _, c := range s.clauses {
+		if s.ca.deleted(c) {
+			continue
+		}
+		for _, l := range s.ca.lits(c) {
+			occStart[l.v()+1]++
+		}
+	}
+	for v := 0; v < s.nVars; v++ {
+		occStart[v+1] += occStart[v]
+	}
+	occSlab := make([]int32, totalLits)
+	cursor := make([]int32, s.nVars)
+	copy(cursor, occStart[:s.nVars])
+	for _, c := range s.clauses {
+		if s.ca.deleted(c) {
 			continue
 		}
 		var sig uint64
-		set := make(map[lit]bool, len(c.lits))
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			sig |= 1 << (uint(l.v()) % 64)
-			set[l] = true
-			occ[l.v()] = append(occ[l.v()], int32(len(entries)))
+			occSlab[cursor[l.v()]] = int32(len(entries))
+			cursor[l.v()]++
 		}
-		entries = append(entries, entry{c, sig, set})
+		entries = append(entries, entry{c, sig})
 	}
+	occLen := func(v uint32) int32 { return occStart[v+1] - occStart[v] }
 	for i := 0; i < len(entries); i++ {
 		small := entries[i]
-		if small.c.deleted {
+		if s.ca.deleted(small.c) {
 			continue
 		}
+		smallLits := s.ca.lits(small.c)
+		smallLen := len(smallLits)
 		// Probe via the variable with the shortest occurrence list.
-		probe := small.c.lits[0].v()
-		for _, l := range small.c.lits[1:] {
-			if len(occ[l.v()]) < len(occ[probe]) {
+		probe := smallLits[0].v()
+		for _, l := range smallLits[1:] {
+			if occLen(l.v()) < occLen(probe) {
 				probe = l.v()
 			}
 		}
-		for _, j := range occ[probe] {
+		// Stamp the small clause's literals into the mark array.
+		s.simpGen++
+		gen := s.simpGen
+		for _, l := range smallLits {
+			mark[l] = gen
+		}
+		for _, j := range occSlab[occStart[probe]:occStart[probe+1]] {
 			if int(j) == i {
 				continue
 			}
 			big := entries[j]
-			if big.c.deleted || len(big.c.lits) < len(small.c.lits) {
+			if s.ca.deleted(big.c) || s.ca.size(big.c) < smallLen {
 				continue
 			}
 			if small.sig&^big.sig != 0 {
 				continue // signature says small has a var big lacks
 			}
 			// Count matches and the single complementary literal, if any.
-			missing := 0
+			// Clauses are normalized (each variable at most once), so
+			// walking big counts each small literal at most once.
+			bigLits := s.ca.lits(big.c)
+			matches := 0
 			var flipLit lit
 			flips := 0
-			for l := range small.set {
-				switch {
-				case big.set[l]:
-				case big.set[l.flip()]:
+			for _, l := range bigLits {
+				if mark[l] == gen {
+					matches++
+				} else if mark[l.flip()] == gen {
 					flips++
-					flipLit = l.flip()
-				default:
-					missing++
+					flipLit = l
 				}
 			}
-			if missing > 0 {
-				continue
+			if matches+flips < smallLen {
+				continue // some small literal missing from big entirely
 			}
 			if flips == 0 {
 				// small subsumes big.
 				s.detachAll(big.c)
-				s.logDelete(big.c)
+				s.logDelete(bigLits)
 				removed++
-			} else if flips == 1 && len(big.c.lits) > 2 {
+			} else if flips == 1 && len(bigLits) > 2 {
 				// Self-subsuming resolution: drop flipLit from big.
-				lits := make([]Lit, 0, len(big.c.lits)-1)
-				for _, l := range big.c.lits {
+				lits := make([]Lit, 0, len(bigLits)-1)
+				for _, l := range bigLits {
 					if l != flipLit {
 						lits = append(lits, toExternal(l))
 					}
@@ -158,12 +206,13 @@ func (s *Solver) Simplify() int {
 				}
 				// The strengthened clause was appended to s.clauses; it
 				// is not revisited this pass (acceptable: Simplify is
-				// idempotent across calls).
-				big.c.deleted = true
+				// idempotent across calls). AddClause may have moved the
+				// arena; smallLits is not used again this iteration.
 			}
 		}
 	}
 	s.compactClauses()
+	s.maybeCompact()
 	return removed
 }
 
@@ -171,7 +220,7 @@ func (s *Solver) Simplify() int {
 func (s *Solver) compactClauses() {
 	kept := s.clauses[:0]
 	for _, c := range s.clauses {
-		if !c.deleted {
+		if !s.ca.deleted(c) {
 			kept = append(kept, c)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file implements solver state serialization: Snapshot renders a
@@ -17,32 +18,36 @@ import (
 // of the persistent compiled-base cache: a frozen post-Simplify base can
 // be written to disk and revived in another process without recompiling.
 //
+// Format version 2 serializes the clause arena verbatim — one length
+// prefix and the raw slab words — so clause references (crefs) in the
+// clause lists, reasons, and watch lists round-trip unchanged and encode
+// cost is a single pass over flat memory. Like Snapshot's other callers
+// of the arena, encoding is read-only on the solver, so concurrent
+// Snapshot/Clone calls on one frozen solver need no locking.
+//
 // The decoder treats its input as untrusted. Every count is bounded by
 // the remaining input length before any allocation (memory stays O(input
-// size)), every literal and clause reference is range-checked, and the
-// watch-list/trail invariants the search relies on are re-validated, so
-// truncated, bit-flipped, or adversarial bytes yield a typed
-// ErrBadSnapshot — never a panic, an OOM, or a solver whose later solve
-// calls can fault.
+// size)), the arena is re-walked clause by clause so every header, length,
+// and literal is validated, every cref is checked against the set of
+// valid clause starts, and the watch-list/trail invariants the search
+// relies on are re-validated, so truncated, bit-flipped, or adversarial
+// bytes yield a typed ErrBadSnapshot — never a panic, an OOM, or a solver
+// whose later solve calls can fault.
 
 // ErrBadSnapshot is returned (wrapped, with detail) by RestoreSnapshot
 // when the input is not a well-formed solver snapshot.
 var ErrBadSnapshot = errors.New("sat: malformed solver snapshot")
 
-// snapshotVersion is the solver-section format version. Bump it on any
+// snapshotVersion is the solver-section format version. Version 2
+// introduced the arena clause database (serialized as the raw slab);
+// version-1 snapshots (per-clause records) are rejected. Bump it on any
 // incompatible layout change; RestoreSnapshot rejects other versions.
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // maxSnapshotVars bounds the variable count a snapshot may declare; it
 // exists purely to keep arithmetic on 2*nVars comfortably inside int32
 // literal space. Real instances are orders of magnitude smaller.
 const maxSnapshotVars = 1 << 28
-
-// clause flag bits in the serialized form.
-const (
-	snapFlagLearnt  = 1
-	snapFlagDeleted = 2
-)
 
 // Snapshot serializes the solver's complete search-relevant state. It may
 // only be called at decision level 0 (like Clone) and panics otherwise.
@@ -56,47 +61,11 @@ func (s *Solver) Snapshot() []byte {
 	if s.decisionLevel() != 0 {
 		panic("sat: Snapshot called above decision level 0")
 	}
-	// Like Clone, clause identity is tracked with forwarding marks in the
-	// source structs (cloneIdx = 1+ID), so concurrent Snapshot/Clone calls
-	// on one solver serialize on cloneMu.
-	s.cloneMu.Lock()
-	defer s.cloneMu.Unlock()
-
-	// Collect the clause universe: problem clauses, learnts, then lazily-
-	// detached stragglers still referenced by watch lists or reasons.
-	all := make([]*clause, 0, len(s.clauses)+len(s.learnts))
-	add := func(c *clause) {
-		if c != nil && c.cloneIdx == 0 {
-			all = append(all, c)
-			c.cloneIdx = int32(len(all))
-		}
-	}
-	for _, c := range s.clauses {
-		add(c)
-	}
-	for _, c := range s.learnts {
-		add(c)
-	}
-	nP, nL := len(s.clauses), len(s.learnts)
-	for _, ws := range s.watches {
-		for _, w := range ws {
-			add(w.c)
-		}
-	}
-	for _, c := range s.reason {
-		add(c)
-	}
-	nX := len(all) - nP - nL
-
-	nLits := 0
-	for _, c := range all {
-		nLits += len(c.lits)
-	}
 	nWatchers := 0
 	for _, ws := range s.watches {
 		nWatchers += len(ws)
 	}
-	buf := make([]byte, 0, 64+12*len(all)+5*nLits+10*nWatchers+10*s.nVars)
+	buf := make([]byte, 0, 80+4*len(s.ca.data)+5*(len(s.clauses)+len(s.learnts))+10*nWatchers+10*s.nVars)
 
 	u32 := func(v uint32) {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
@@ -122,24 +91,24 @@ func (s *Solver) Snapshot() []byte {
 	f64(s.maxLearnts)
 	f64(s.learntGrowth)
 
-	uv(uint64(nP))
-	uv(uint64(nL))
-	uv(uint64(nX))
-	for _, c := range all {
-		var flags byte
-		if c.learnt {
-			flags |= snapFlagLearnt
-		}
-		if c.deleted {
-			flags |= snapFlagDeleted
-		}
-		buf = append(buf, flags)
-		uv(uint64(c.lbd))
-		f64(c.activity)
-		uv(uint64(len(c.lits)))
-		for _, l := range c.lits {
-			uv(uint64(l))
-		}
+	// The clause arena, verbatim: word count then raw little-endian words.
+	// Deleted-but-unreclaimed clauses ride along; the decoder recomputes
+	// the garbage accounting.
+	uv(uint64(len(s.ca.data)))
+	off := len(buf)
+	buf = append(buf, make([]byte, 4*len(s.ca.data))...)
+	for _, w := range s.ca.data {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(w))
+		off += 4
+	}
+
+	uv(uint64(len(s.clauses)))
+	for _, c := range s.clauses {
+		uv(uint64(c))
+	}
+	uv(uint64(len(s.learnts)))
+	for _, c := range s.learnts {
+		uv(uint64(c))
 	}
 
 	uv(uint64(len(s.trail)))
@@ -180,25 +149,19 @@ func (s *Solver) Snapshot() []byte {
 	}
 
 	for _, c := range s.reason {
-		if c == nil {
+		if c == crefUndef {
 			uv(0)
 		} else {
-			uv(uint64(c.cloneIdx)) // already 1+ID
+			uv(uint64(c) + 1)
 		}
 	}
 
 	for _, ws := range s.watches {
 		uv(uint64(len(ws)))
 		for _, w := range ws {
-			uv(uint64(w.c.cloneIdx - 1))
+			uv(uint64(w.c))
 			uv(uint64(w.blocker))
 		}
-	}
-
-	// Reset the forwarding marks so the solver is pristine for the next
-	// Snapshot or Clone.
-	for _, c := range all {
-		c.cloneIdx = 0
 	}
 	return buf
 }
@@ -271,6 +234,16 @@ func finiteNonNeg(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
+// crefIndex locates c in the sorted list of valid clause starts,
+// returning its index or -1.
+func crefIndex(starts []cref, c cref) int {
+	i := sort.Search(len(starts), func(i int) bool { return starts[i] >= c })
+	if i < len(starts) && starts[i] == c {
+		return i
+	}
+	return -1
+}
+
 // RestoreSnapshot reconstructs a solver from Snapshot output. The restored
 // solver behaves identically to the snapshotted one: same clause database,
 // same watch order, same trail and heuristic state, hence the same search.
@@ -336,76 +309,93 @@ func RestoreSnapshot(data []byte) (*Solver, error) {
 		return nil, fmt.Errorf("%w: non-finite or out-of-range heuristic scalars", ErrBadSnapshot)
 	}
 
-	nP, err := r.count("problem clause count")
+	// The arena slab: each word is 4 raw bytes, so the count check bounds
+	// the allocation by a quarter of the remaining input.
+	nWords64, err := r.uvarint("arena length")
 	if err != nil {
 		return nil, err
 	}
-	nL, err := r.count("learnt clause count")
-	if err != nil {
-		return nil, err
+	if nWords64 > uint64(r.rem())/4 {
+		return nil, r.fail("arena length")
 	}
-	nX, err := r.count("straggler clause count")
-	if err != nil {
-		return nil, err
+	nWords := int(nWords64)
+	slab := make([]lit, nWords)
+	for i := range slab {
+		slab[i] = lit(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
 	}
-	total := nP + nL + nX
+
+	// Walk the arena validating each clause record in place and collecting
+	// the (sorted, by construction) valid clause starts. Every literal is
+	// range-checked here, so later consumers can index assignment arrays
+	// without further checks.
 	maxLit := uint64(2 * nVars)
-	structs := make([]clause, total)
-	cls := make([]*clause, total)
-	for i := 0; i < total; i++ {
-		c := &structs[i]
-		cls[i] = c
-		flags, err := r.byte("clause flags")
-		if err != nil {
-			return nil, err
+	var starts []cref
+	wasted := 0
+	for off := 0; off < nWords; {
+		hdr := slab[off]
+		size := int(hdr >> 2)
+		if size < 2 {
+			// Units live on the trail and empty clauses flip okay; a
+			// stored clause below two literals breaks watch invariants.
+			return nil, fmt.Errorf("%w: arena clause of length %d at word %d", ErrBadSnapshot, size, off)
 		}
-		if flags&^(snapFlagLearnt|snapFlagDeleted) != 0 {
-			return nil, fmt.Errorf("%w: unknown clause flags %#x", ErrBadSnapshot, flags)
+		end := off + clsHeaderWords + size
+		if end > nWords {
+			return nil, fmt.Errorf("%w: arena clause overruns slab at word %d", ErrBadSnapshot, off)
 		}
-		c.learnt = flags&snapFlagLearnt != 0
-		c.deleted = flags&snapFlagDeleted != 0
-		// Section membership must agree with the learnt flag so the two
-		// clause lists stay coherent with DB-reduction bookkeeping.
-		if i < nP && c.learnt {
-			return nil, fmt.Errorf("%w: learnt clause in problem section", ErrBadSnapshot)
-		}
-		if i >= nP && i < nP+nL && !c.learnt {
-			return nil, fmt.Errorf("%w: problem clause in learnt section", ErrBadSnapshot)
-		}
-		lbd, err := r.uvarint("clause lbd")
-		if err != nil {
-			return nil, err
-		}
+		lbd := uint64(slab[off+1])
 		if lbd > uint64(nVars)+1 {
 			return nil, fmt.Errorf("%w: clause lbd %d out of range", ErrBadSnapshot, lbd)
 		}
-		c.lbd = int(lbd)
-		if c.activity, err = r.f64("clause activity"); err != nil {
-			return nil, err
-		}
-		if !finiteNonNeg(c.activity) {
+		act := math.Float64frombits(uint64(slab[off+2]) | uint64(slab[off+3])<<32)
+		if !finiteNonNeg(act) {
 			return nil, fmt.Errorf("%w: non-finite clause activity", ErrBadSnapshot)
 		}
-		n, err := r.count("clause length")
+		for _, l := range slab[off+clsHeaderWords : end] {
+			if uint64(l) >= maxLit {
+				return nil, fmt.Errorf("%w: literal %d out of range", ErrBadSnapshot, uint64(l))
+			}
+		}
+		if hdr&clsDeleted != 0 {
+			wasted += clsHeaderWords + size
+		}
+		starts = append(starts, cref(off))
+		off = end
+	}
+	ca := arena{data: slab, wasted: wasted}
+
+	readCrefList := func(what string, wantLearnt bool) ([]cref, error) {
+		n, err := r.count(what)
 		if err != nil {
 			return nil, err
 		}
-		if n < 2 {
-			// Units live on the trail and empty clauses flip okay; a
-			// stored clause below two literals breaks watch invariants.
-			return nil, fmt.Errorf("%w: clause of length %d", ErrBadSnapshot, n)
-		}
-		c.lits = make([]lit, n)
-		for j := 0; j < n; j++ {
-			lv, err := r.uvarint("clause literal")
+		out := make([]cref, n)
+		for i := range out {
+			c64, err := r.uvarint(what)
 			if err != nil {
 				return nil, err
 			}
-			if lv >= maxLit {
-				return nil, fmt.Errorf("%w: literal %d out of range", ErrBadSnapshot, lv)
+			if c64 >= uint64(nWords) || crefIndex(starts, cref(c64)) < 0 {
+				return nil, fmt.Errorf("%w: %s entry %d is not a clause start", ErrBadSnapshot, what, c64)
 			}
-			c.lits[j] = lit(lv)
+			c := cref(c64)
+			// Section membership must agree with the learnt flag so the
+			// two clause lists stay coherent with DB-reduction bookkeeping.
+			if ca.learnt(c) != wantLearnt {
+				return nil, fmt.Errorf("%w: clause at %d in wrong section", ErrBadSnapshot, c64)
+			}
+			out[i] = c
 		}
+		return out, nil
+	}
+	clauses, err := readCrefList("problem clause list", false)
+	if err != nil {
+		return nil, err
+	}
+	learnts, err := readCrefList("learnt clause list", true)
+	if err != nil {
+		return nil, err
 	}
 
 	nTrail, err := r.count("trail length")
@@ -491,26 +481,28 @@ func RestoreSnapshot(data []byte) (*Solver, error) {
 		heap[i] = v
 	}
 
-	reason := make([]*clause, nVars)
+	reason := make([]cref, nVars)
 	for v := 0; v < nVars; v++ {
 		id, err := r.uvarint("reason reference")
 		if err != nil {
 			return nil, err
 		}
 		if id == 0 {
+			reason[v] = crefUndef
 			continue
 		}
-		if id > uint64(total) {
-			return nil, fmt.Errorf("%w: reason clause %d out of range", ErrBadSnapshot, id-1)
+		c64 := id - 1
+		if c64 >= uint64(nWords) || crefIndex(starts, cref(c64)) < 0 {
+			return nil, fmt.Errorf("%w: reason clause %d out of range", ErrBadSnapshot, c64)
 		}
 		if assigns[v] == lUndef {
 			return nil, fmt.Errorf("%w: reason on unassigned variable %d", ErrBadSnapshot, v+1)
 		}
-		reason[v] = cls[id-1]
+		reason[v] = cref(c64)
 	}
 
 	watches := make([][]watcher, 2*nVars)
-	watchCount := make([]int32, total)
+	watchCount := make([]int32, len(starts))
 	for li := 0; li < 2*nVars; li++ {
 		n, err := r.count("watch list length")
 		if err != nil {
@@ -521,12 +513,18 @@ func RestoreSnapshot(data []byte) (*Solver, error) {
 		}
 		ws := make([]watcher, n)
 		for j := 0; j < n; j++ {
-			cid, err := r.uvarint("watcher clause")
+			c64, err := r.uvarint("watcher clause")
 			if err != nil {
 				return nil, err
 			}
-			if cid >= uint64(total) {
-				return nil, fmt.Errorf("%w: watcher clause %d out of range", ErrBadSnapshot, cid)
+			var ci int
+			if c64 >= uint64(nWords) {
+				ci = -1
+			} else {
+				ci = crefIndex(starts, cref(c64))
+			}
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: watcher clause %d out of range", ErrBadSnapshot, c64)
 			}
 			bl, err := r.uvarint("watcher blocker")
 			if err != nil {
@@ -535,23 +533,24 @@ func RestoreSnapshot(data []byte) (*Solver, error) {
 			if bl >= maxLit {
 				return nil, fmt.Errorf("%w: watcher blocker %d out of range", ErrBadSnapshot, bl)
 			}
-			c := cls[cid]
-			if !c.deleted {
+			c := cref(c64)
+			if !ca.deleted(c) {
 				// Propagation assumes a live watcher sits in the list of
 				// the negation of one of the clause's first two literals;
 				// anything else could mis-propagate or mis-index.
-				if lit(li) != c.lits[0].flip() && lit(li) != c.lits[1].flip() {
-					return nil, fmt.Errorf("%w: watcher misplaced for live clause %d", ErrBadSnapshot, cid)
+				cl := ca.lits(c)
+				if lit(li) != cl[0].flip() && lit(li) != cl[1].flip() {
+					return nil, fmt.Errorf("%w: watcher misplaced for live clause %d", ErrBadSnapshot, c64)
 				}
-				watchCount[cid]++
+				watchCount[ci]++
 			}
 			ws[j] = watcher{c: c, blocker: lit(bl)}
 		}
 		watches[li] = ws
 	}
-	for i, c := range cls {
-		if !c.deleted && watchCount[i] != 2 {
-			return nil, fmt.Errorf("%w: live clause %d has %d watchers (want 2)", ErrBadSnapshot, i, watchCount[i])
+	for i, c := range starts {
+		if !ca.deleted(c) && watchCount[i] != 2 {
+			return nil, fmt.Errorf("%w: live clause at %d has %d watchers (want 2)", ErrBadSnapshot, c, watchCount[i])
 		}
 	}
 	if r.rem() != 0 {
@@ -561,8 +560,9 @@ func RestoreSnapshot(data []byte) (*Solver, error) {
 	n := &Solver{
 		opts:         Options{},
 		nVars:        nVars,
-		clauses:      cls[0:nP:nP],
-		learnts:      cls[nP : nP+nL : nP+nL],
+		ca:           ca,
+		clauses:      clauses,
+		learnts:      learnts,
 		watches:      watches,
 		assigns:      assigns,
 		level:        make([]int32, nVars), // level-0 snapshot: all zero

@@ -192,9 +192,15 @@ func TestRestoreSnapshotRejectsWrongVersion(t *testing.T) {
 	s := NewSolver()
 	satInstance(s)
 	snap := s.Snapshot()
-	binary.LittleEndian.PutUint32(snap, snapshotVersion+1)
-	if _, err := RestoreSnapshot(snap); !errors.Is(err, ErrBadSnapshot) {
-		t.Fatalf("future version: got err %v, want ErrBadSnapshot", err)
+	// Both directions of skew must be rejected up front: a future format
+	// this decoder has never seen, and the v1 per-clause layout that the
+	// arena rewrite (v2) replaced — a v1 body read as an arena slab would
+	// be garbage, so the version gate is the only line of defense.
+	for _, v := range []uint32{snapshotVersion + 1, 1} {
+		binary.LittleEndian.PutUint32(snap, v)
+		if _, err := RestoreSnapshot(snap); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("version %d: got err %v, want ErrBadSnapshot", v, err)
+		}
 	}
 }
 

@@ -16,7 +16,6 @@ package sat
 import (
 	"errors"
 	"fmt"
-	"sync"
 )
 
 // Lit is a DIMACS-style literal: +v or -v for variable v ≥ 1.
@@ -146,25 +145,12 @@ func boolToLbool(b bool) lbool {
 	return lFalse
 }
 
-// clause is a problem or learnt clause.
-type clause struct {
-	lits    []lit
-	learnt  bool
-	deleted bool
-	// cloneIdx is Clone's forwarding mark: while a Clone is in progress it
-	// holds 1+index of this clause's copy, and it is reset to 0 before
-	// Clone returns. It fits in the struct's padding, and Clone serializes
-	// on Solver.cloneMu so concurrent clones of one solver never race on
-	// it.
-	cloneIdx int32
-	activity float64
-	lbd      int
-}
-
 // watcher pairs a watching clause with a "blocker" literal whose
-// satisfaction lets propagation skip visiting the clause.
+// satisfaction lets propagation skip visiting the clause. It is a flat
+// 8-byte pair — pointer-free, so watch lists cost the garbage collector
+// nothing to scan.
 type watcher struct {
-	c       *clause
+	c       cref
 	blocker lit
 }
 
@@ -176,14 +162,17 @@ type Solver struct {
 	opts  Options
 	stats Stats
 
-	nVars   int
-	clauses []*clause
-	learnts []*clause
+	nVars int
+	// ca is the clause arena: every problem and learnt clause lives in
+	// one flat slab (see arena.go), addressed by cref offsets.
+	ca      arena
+	clauses []cref
+	learnts []cref
 
 	watches  [][]watcher // indexed by internal lit
 	assigns  []lbool     // indexed by var
 	level    []int32     // decision level per var
-	reason   []*clause   // implying clause per var (nil for decisions)
+	reason   []cref      // implying clause per var (crefUndef for decisions)
 	polarity []bool      // saved phase: last assigned sign (true = negative)
 	trail    []lit
 	trailLim []int // trail index at each decision level
@@ -206,9 +195,18 @@ type Solver struct {
 	lbdStamp  []uint64
 	lbdGen    uint64
 	addBuf    []lit
-	okay      bool // false once a top-level contradiction is recorded
-	model     []bool
-	conflict  []Lit // final conflict clause (negated assumptions subset)
+	// Simplify pass-2 scratch: a generation-stamped literal-membership
+	// mark array replacing per-clause hash sets (see Simplify).
+	simpMark []uint64
+	simpGen  uint64
+	// Arena-compaction scratch: the old→new offset tables (see
+	// compactArena), recycled across compactions.
+	gcOld []cref
+	gcNew []cref
+	okay  bool // false once a top-level contradiction is recorded
+	model []bool
+
+	conflict []Lit // final conflict clause (negated assumptions subset)
 
 	assumptions []lit
 
@@ -223,12 +221,6 @@ type Solver struct {
 	proof *Proof // non-nil when DRAT logging is attached
 
 	stop stopFlag // set by Interrupt; polled at conflict boundaries
-
-	// cloneMu serializes Clone calls on this solver: Clone leaves
-	// transient forwarding marks in the source clause structs (see
-	// clause.cloneIdx), so two concurrent clones of one solver must not
-	// interleave. Clones of different solvers never contend.
-	cloneMu sync.Mutex
 
 	// Per-call work budgets (absolute caps against stats; 0 = none) and
 	// the reason the last Solve returned Unknown. See SetBudget/StopCause.
@@ -269,11 +261,22 @@ func (s *Solver) Stats() Stats { return s.stats }
 
 // NewVar allocates a fresh variable and returns its index (≥ 1).
 func (s *Solver) NewVar() int {
+	if len(s.assigns) == cap(s.assigns) {
+		// Grow all per-variable slices together, doubling: one-at-a-time
+		// variable creation (the arithmetic encoder, query selectors)
+		// otherwise reallocates eight slices each on append's less
+		// aggressive large-slice growth policy.
+		n := 2 * len(s.assigns)
+		if n < 64 {
+			n = 64
+		}
+		s.growVarCaps(n)
+	}
 	s.nVars++
 	s.watches = append(s.watches, nil, nil)
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, true) // default phase: false
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -281,11 +284,44 @@ func (s *Solver) NewVar() int {
 	return s.nVars
 }
 
-// EnsureVars allocates variables until NumVars ≥ n.
+// EnsureVars allocates variables until NumVars ≥ n. Bulk growth (the
+// compiler materializes the whole vocabulary in one call) pre-sizes every
+// per-variable slice once instead of doubling each through thousands of
+// appends.
 func (s *Solver) EnsureVars(n int) {
+	if n > s.nVars && n > cap(s.assigns) {
+		s.growVarCaps(n)
+	}
 	for s.nVars < n {
 		s.NewVar()
 	}
+}
+
+// growVarCaps reallocates every per-variable slice with capacity for n
+// variables, preserving contents.
+func (s *Solver) growVarCaps(n int) {
+	watches := make([][]watcher, len(s.watches), 2*n)
+	copy(watches, s.watches)
+	s.watches = watches
+	assigns := make([]lbool, len(s.assigns), n)
+	copy(assigns, s.assigns)
+	s.assigns = assigns
+	level := make([]int32, len(s.level), n)
+	copy(level, s.level)
+	s.level = level
+	reason := make([]cref, len(s.reason), n)
+	copy(reason, s.reason)
+	s.reason = reason
+	polarity := make([]bool, len(s.polarity), n)
+	copy(polarity, s.polarity)
+	s.polarity = polarity
+	activity := make([]float64, len(s.activity), n)
+	copy(activity, s.activity)
+	s.activity = activity
+	seen := make([]byte, len(s.seen), n)
+	copy(seen, s.seen)
+	s.seen = seen
+	s.order.grow(n)
 }
 
 // ErrVarRange is returned by AddClause when a literal references variable 0
@@ -372,32 +408,33 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.logEmpty()
 		return false
 	case 1:
-		s.uncheckedEnqueue(norm[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(norm[0], crefUndef)
+		if s.propagate() != crefUndef {
 			s.okay = false
 			s.logEmpty()
 			return false
 		}
 		return true
 	}
-	// Copy out of the scratch buffer: the stored clause owns its literals.
-	cl := make([]lit, len(norm))
-	copy(cl, norm)
-	c := &clause{lits: cl}
+	// The arena copies the scratch buffer into the slab; no per-clause
+	// allocation.
+	c := s.ca.alloc(norm, false)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
 // attach registers the first two literals of c as watched.
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].flip()] = append(s.watches[c.lits[0].flip()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].flip()] = append(s.watches[c.lits[1].flip()], watcher{c, c.lits[0]})
+func (s *Solver) attach(c cref) {
+	cl := s.ca.lits(c)
+	s.watches[cl[0].flip()] = append(s.watches[cl[0].flip()], watcher{c, cl[1]})
+	s.watches[cl[1].flip()] = append(s.watches[cl[1].flip()], watcher{c, cl[0]})
 }
 
 // detachAll lazily detaches a clause by marking it deleted; propagate
-// skips and removes deleted watchers as it encounters them.
-func (s *Solver) detachAll(c *clause) { c.deleted = true }
+// skips and removes deleted watchers as it encounters them, and arena
+// compaction reclaims the slab words.
+func (s *Solver) detachAll(c cref) { s.ca.setDeleted(c) }
 
 // value returns the current assignment of an internal literal.
 func (s *Solver) value(l lit) lbool {
@@ -413,9 +450,9 @@ func (s *Solver) value(l lit) lbool {
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-// uncheckedEnqueue records an assignment implied by from (nil = decision
-// or top-level fact).
-func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+// uncheckedEnqueue records an assignment implied by from (crefUndef =
+// decision or top-level fact).
+func (s *Solver) uncheckedEnqueue(l lit, from cref) {
 	v := l.v()
 	s.assigns[v] = boolToLbool(!l.sign())
 	s.level[v] = int32(s.decisionLevel())
@@ -540,7 +577,7 @@ func (s *Solver) search(conflictBudget int64) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			conflicts++
 			if s.fireFault(EventConflict) {
@@ -604,7 +641,7 @@ func (s *Solver) search(conflictBudget int64) Status {
 			next = s.decisionLit(v)
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -657,7 +694,7 @@ func (s *Solver) cancelUntil(level int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].v()
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		if !s.opts.StaticOrder {
 			s.order.insert(int(v))
 		}
@@ -668,16 +705,16 @@ func (s *Solver) cancelUntil(level int) {
 }
 
 // recordLearnt installs a learnt clause and asserts its first literal.
-// learnt may alias the analyze scratch buffer; the stored clause copies it.
+// learnt may alias the analyze scratch buffer; the arena copies it.
 func (s *Solver) recordLearnt(learnt []lit, lbd int) {
 	s.stats.Learnts++
 	if len(learnt) == 1 {
-		s.uncheckedEnqueue(learnt[0], nil)
+		s.uncheckedEnqueue(learnt[0], crefUndef)
 		return
 	}
-	lits := make([]lit, len(learnt))
-	copy(lits, learnt)
-	c := &clause{lits: lits, learnt: true, lbd: lbd, activity: s.claInc}
+	c := s.ca.alloc(learnt, true)
+	s.ca.setLBD(c, lbd)
+	s.ca.setActivity(c, s.claInc)
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.uncheckedEnqueue(learnt[0], c)
