@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke alloc-budget bench bench-smoke bench-diff clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
 
 # BENCH is the JSON file the bench target writes and bench-diff compares
 # against; point it at the next PR's file when cutting a new baseline.
-BENCH ?= BENCH_PR5.json
+BENCH ?= BENCH_PR6.json
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ parallel-diff:
 snapshot-diff:
 	$(GO) test -run='TestSnapshotRestoreSolvesIdentically|TestDiskCacheDifferential|TestDiskWarmSkipsCompile' -count=1 ./internal/sat ./internal/core
 
+# serve-smoke boots the query service on a random port, runs one query
+# per mode, hits /healthz and /statsz, injects one fault, SIGTERMs the
+# process, and asserts a clean drain — the full serve lifecycle under the
+# race detector (see internal/serve TestServeSmoke).
+serve-smoke:
+	$(GO) test -race -run='TestServeSmoke' -count=1 ./internal/serve
+
 # fuzz-smoke runs the snapshot decoders' fuzz targets briefly so the
 # untrusted-bytes contract (typed errors, no panics, no OOM) is
 # exercised on every gate, not only in dedicated fuzz sessions.
@@ -68,9 +75,10 @@ fuzz-smoke:
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
 # analysis, the race detector over every package, the enumeration and
-# snapshot differentials, the hot-path allocation budgets, a fuzz smoke
-# over both snapshot decoders, and a benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff alloc-budget fuzz-smoke bench-smoke
+# snapshot differentials, the hot-path allocation budgets, the serve
+# lifecycle smoke, a fuzz smoke over both snapshot decoders, and a
+# benchmark smoke run.
+verify: build vet test race parallel-diff snapshot-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

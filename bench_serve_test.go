@@ -1,0 +1,141 @@
+// Closed-loop load benchmark for the serve layer (DESIGN.md §12): an
+// in-process server with a warm clone pool takes sustained concurrent
+// synth queries at 2× its admission capacity, so the run exercises the
+// full request path — admission, pool take, solve, response render — and
+// the shed path together. Reported metrics (captured into BENCH_PR6.json
+// by `make bench` through cmd/benchjson's Extra map):
+//
+//	qps        completed requests (200s) per second of wall time
+//	p50_ms     median warm-request latency, successful requests only
+//	p99_ms     99th-percentile warm-request latency
+//	shed_rate  fraction of offered requests shed with 429
+package netarch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"netarch"
+	"netarch/internal/serve"
+)
+
+func BenchmarkServeWarmLoad(b *testing.B) {
+	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Capacity scales with the machine: GOMAXPROCS executing queries
+	// plus an equal-depth queue; the closed loop below offers 2× that.
+	g := runtime.GOMAXPROCS(0)
+	srv, err := serve.New(serve.Config{
+		Engine:       eng,
+		Addr:         "127.0.0.1:0",
+		MaxInFlight:  g,
+		QueueDepth:   g,
+		DrainTimeout: 10 * time.Second,
+		Prewarm:      []netarch.Scenario{{Workloads: []string{"inference_app"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	url := "http://" + srv.Addr() + "/v1/synth"
+	body := []byte(`{"scenario":{"workloads":["inference_app"]}}`)
+
+	// Warm the HTTP connections and the per-mode stats path.
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// 2× admission capacity of closed-loop workers, b.N requests total.
+	workers := 4 * g // 2 × (MaxInFlight + QueueDepth)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sheds     int64
+		offered   int64
+	)
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+
+				mu.Lock()
+				offered++
+				switch resp.StatusCode {
+				case http.StatusOK:
+					latencies = append(latencies, lat)
+				case http.StatusTooManyRequests:
+					sheds++
+				default:
+					var eb serve.ErrorBody
+					if json.Unmarshal(raw, &eb) != nil {
+						b.Errorf("malformed %d body: %s", resp.StatusCode, raw)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	b.StopTimer()
+
+	if len(latencies) == 0 {
+		b.Fatal("no successful requests")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quant := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(float64(len(latencies))/wall.Seconds(), "qps")
+	b.ReportMetric(quant(0.50), "p50_ms")
+	b.ReportMetric(quant(0.99), "p99_ms")
+	b.ReportMetric(float64(sheds)/float64(offered), "shed_rate")
+}

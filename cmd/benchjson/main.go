@@ -35,12 +35,14 @@ import (
 )
 
 // result holds one benchmark line's measurements. B/op and allocs/op are
-// -1 when the run lacked -benchmem.
+// -1 when the run lacked -benchmem. Extra collects custom b.ReportMetric
+// units (qps, p99_ms, shed_rate, ...) keyed by unit name.
 type result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // parseLine parses one "BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op"
@@ -69,7 +71,7 @@ func parseLine(line string) (string, result, bool) {
 		if err != nil {
 			return "", result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			seenNs = true
@@ -77,6 +79,12 @@ func parseLine(line string) (string, result, bool) {
 			r.BPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			// A custom b.ReportMetric unit (qps, p99_ms, shed_rate, ...).
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	if !seenNs {
@@ -186,9 +194,37 @@ func printDiff(basePath string, new map[string]result) error {
 				deltaCol(or.NsPerOp, nr.NsPerOp),
 				deltaCol(float64(or.BPerOp), float64(nr.BPerOp)),
 				deltaCol(float64(or.AllocsPerOp), float64(nr.AllocsPerOp)))
+			printExtraDiff(out, or.Extra, nr.Extra)
 		}
 	}
 	return nil
+}
+
+// printExtraDiff renders one indented sub-row per custom metric unit
+// present on either side (qps, p99_ms, shed_rate, ...).
+func printExtraDiff(out *bufio.Writer, old, new map[string]float64) {
+	units := make([]string, 0, len(old)+len(new))
+	for u := range old {
+		units = append(units, u)
+	}
+	for u := range new {
+		if _, ok := old[u]; !ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		ov, inOld := old[u]
+		nv, inNew := new[u]
+		switch {
+		case !inOld:
+			fmt.Fprintf(out, "  %-53s %25s\n", u, fmt.Sprintf("(added) %s", humanize(nv)))
+		case !inNew:
+			fmt.Fprintf(out, "  %-53s %25s\n", u, "(removed)")
+		default:
+			fmt.Fprintf(out, "  %-53s %25s\n", u, deltaCol(ov, nv))
+		}
+	}
 }
 
 // deltaCol formats "old -> new (+x.x%)" for one measurement column;

@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"netarch"
@@ -41,6 +43,8 @@ Usage:
   netarch disambiguate [flags]      report where the solution space forks
   netarch multi [flags]             run repeated queries on one engine
                                     (shows compiled-base cache amortization)
+  netarch serve [flags]             long-lived HTTP/JSON query service with
+                                    admission control and graceful drain
   netarch catalog [stats|systems|hardware|export|export-dsl]
   netarch kb <validate|to-json|to-dsl> <file|->
   netarch kb diff <old> <new>       compare two knowledge-base files
@@ -73,6 +77,16 @@ Cache flags:
   -cache-stats        print compiled-base cache stats after the queries,
                       including disk hit/miss/evict/corrupt counters
   -rounds N           (multi) rounds of synth+explain+optimize (default 3)
+
+Serve flags (netarch serve; scenario flags set the prewarm shape, budget
+flags set the server-side policy ceiling clients may only tighten):
+  -addr HOST:PORT     listen address (default 127.0.0.1:8080, :0 = random)
+  -max-inflight N     concurrently executing queries (0 = one per CPU)
+  -queue-depth N      admission queue length (0 = 2x max-inflight); beyond
+                      it requests shed with 429 + Retry-After
+  -drain-timeout D    graceful-drain deadline on SIGINT/SIGTERM
+  -clone-pool N       pre-cloned solvers per base (0 = max-inflight)
+  -chaos SPEC         fault injection: seed=N,rate=F[,event=solve|conflict|both]
 
 Profiling flags (before the command: netarch -cpuprofile=cpu.out synth ...):
   -cpuprofile FILE    write a pprof CPU profile for the whole run to FILE
@@ -155,6 +169,8 @@ func run() int {
 		err = cmdSolve(args[1:], "disambiguate")
 	case "multi":
 		err = cmdMulti(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
 	case "catalog":
 		err = cmdCatalog(args[1:])
 	case "kb":
@@ -307,6 +323,15 @@ func cacheDirFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine) error) {
 	}
 }
 
+// queryContext returns a context canceled by SIGINT/SIGTERM, so an
+// interrupted one-shot query stops at the next solver boundary and
+// surfaces as a typed resource-exhaustion error ("canceled"): partial
+// results already computed are still printed and the process exits 4,
+// the same path a tripped budget takes.
+func queryContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -341,7 +366,8 @@ func cmdSolve(args []string, mode string) error {
 		return err
 	}
 	budget := getBudget()
-	ctx := context.Background()
+	ctx, stopSignals := queryContext()
+	defer stopSignals()
 	k := netarch.CaseStudy()
 	eng, err := netarch.NewEngine(k)
 	if err != nil {
@@ -451,7 +477,8 @@ func cmdMulti(args []string) error {
 		return err
 	}
 	budget := getBudget()
-	ctx := context.Background()
+	ctx, stopSignals := queryContext()
+	defer stopSignals()
 	eng, err := netarch.NewEngine(netarch.CaseStudy())
 	if err != nil {
 		return err
@@ -562,7 +589,9 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := eng.CheckCtx(context.Background(), d, sc, getBudget())
+	ctx, stopSignals := queryContext()
+	defer stopSignals()
+	rep, err := eng.CheckCtx(ctx, d, sc, getBudget())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"netarch"
+	"netarch/internal/serve"
+)
+
+// cmdServe runs the long-lived HTTP/JSON query service (DESIGN.md §12).
+// The scenario flags define the prewarm shape: the server compiles (or
+// revives from -cache-dir) that base before reporting ready, so the
+// first real query already hits a warm pool. SIGINT/SIGTERM trigger a
+// graceful drain; a clean drain exits 0.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a port)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrently executing queries (0 = one per CPU)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue length (0 = 2x max-inflight)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on shutdown")
+	clonePool := fs.Int("clone-pool", 0, "pre-cloned solvers per base (0 = max-inflight, <0 = off)")
+	maxEnum := fs.Int("max-enumerate", 64, "ceiling on per-request enumeration limits")
+	chaosSpec := fs.String("chaos", "", "fault-injection profile: seed=N,rate=F[,event=solve|conflict|both]")
+	getScenario, _ := scenarioFlags(fs)
+	getBudget := budgetFlags(fs)
+	setWorkers := workersFlag(fs)
+	setCacheDir := cacheDirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := getScenario()
+	if err != nil {
+		return err
+	}
+	var chaos *serve.Chaos
+	if *chaosSpec != "" {
+		if chaos, err = serve.ParseChaos(*chaosSpec); err != nil {
+			return err
+		}
+	}
+
+	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	if err != nil {
+		return err
+	}
+	setWorkers(eng)
+	if err := setCacheDir(eng); err != nil {
+		return err
+	}
+
+	inFlight := *maxInFlight
+	if inFlight <= 0 {
+		inFlight = runtime.GOMAXPROCS(0)
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:       eng,
+		Addr:         *addr,
+		MaxInFlight:  inFlight,
+		QueueDepth:   *queueDepth,
+		Policy:       getBudget(),
+		MaxEnumerate: *maxEnum,
+		DrainTimeout: *drainTimeout,
+		Prewarm:      []netarch.Scenario{sc},
+		ClonePool:    *clonePool,
+		Chaos:        chaos,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM cancel the context; Run then drains in-flight
+	// requests under -drain-timeout and returns nil on a clean drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+
+	"netarch"
+)
+
+// TestCmdSolveBudgetTripped pins the exit-4 path the signal handler
+// shares: a starvation budget trips before a verdict, the command
+// returns a typed resource-exhaustion error, and run() maps exactly that
+// error class to exit code 4.
+func TestCmdSolveBudgetTripped(t *testing.T) {
+	err := cmdSolve([]string{"-require", "congestion_control", "-timeout", "1ns"}, "synth")
+	if err == nil {
+		t.Fatal("1ns budget did not trip")
+	}
+	if !netarch.IsResourceExhausted(err) {
+		t.Fatalf("budget trip is not a typed exhaustion error: %v", err)
+	}
+}
+
+// TestQueryContextSignal pins the one-shot signal wiring: SIGINT cancels
+// the query context (queries then stop at the next solver boundary and
+// surface as "canceled" exhaustion errors → exit 4). NotifyContext
+// consumes the signal, so the test process survives.
+func TestQueryContextSignal(t *testing.T) {
+	ctx, stop := queryContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+		if ctx.Err() != context.Canceled {
+			t.Fatalf("ctx.Err() = %v, want Canceled", ctx.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the query context")
+	}
+}
+
+// TestCmdServeBadFlags pins serve's flag validation error paths.
+func TestCmdServeBadFlags(t *testing.T) {
+	if err := cmdServe([]string{"-chaos", "rate=2.0"}); err == nil {
+		t.Error("chaos rate 2.0 must be rejected")
+	}
+	if err := cmdServe([]string{"-chaos", "flavor=spicy"}); err == nil {
+		t.Error("unknown chaos key must be rejected")
+	}
+	if err := cmdServe([]string{"-addr", "not:a:valid:addr:at:all"}); err == nil {
+		t.Error("unlistenable address must be rejected")
+	}
+}

@@ -48,6 +48,11 @@ type CacheStats struct {
 	DiskWrites    int64
 	DiskEvictions int64
 	DiskCorrupt   int64
+	// Clone-pool counters (all zero unless SetClonePool is active).
+	// PoolHits: queries served from a pre-made pristine clone.
+	// PoolMisses: queries that cloned inline because the pool was empty.
+	PoolHits   int64
+	PoolMisses int64
 }
 
 // String renders the cache stats.
@@ -63,20 +68,54 @@ func (cs CacheStats) String() string {
 		s += fmt.Sprintf("; disk: %d hits / %d misses, %d writes, %d evicted, %d corrupt",
 			cs.DiskHits, cs.DiskMisses, cs.DiskWrites, cs.DiskEvictions, cs.DiskCorrupt)
 	}
+	if cs.PoolHits+cs.PoolMisses > 0 {
+		s += fmt.Sprintf("; pool: %d hits / %d misses", cs.PoolHits, cs.PoolMisses)
+	}
 	return s
 }
 
 // CacheStats returns a snapshot of the compiled-base cache counters.
+//
+// Consistency contract: every query bumps exactly one of Hits, DiskHits
+// and Misses, so in an instantaneous view Hits+DiskHits+Misses is the
+// number of queries counted so far. The counters are independent
+// atomics (the warm path must not serialize through a lock just to be
+// counted), so one pass over them could tear: each value individually
+// correct but read at a different instant. To keep the invariant
+// observable mid-flight the snapshot is double-collected — re-read
+// until two consecutive collections are identical. Counters are
+// monotonic, so two identical collections pin every counter to a
+// constant value over the window between the passes: the result is a
+// true instantaneous snapshot. Under sustained concurrent traffic that
+// never quiesces, the bounded retry loop falls back to the last
+// collection; the relaxed guarantee is still that each counter is exact
+// at its own read instant and the Hits+DiskHits+Misses sum lies between
+// the instantaneous sums at the start and end of the call (each query
+// moves the sum by exactly one, so the sum always equals the query
+// count at some instant within the call). TestCacheStatsSnapshotHammer
+// pins both guarantees under the race detector.
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return CacheStats{
-		Size: len(e.bases), Capacity: e.cacheCap,
-		Hits: e.hits.Load(), Misses: e.misses.Load(),
-		DiskHits: e.diskHits.Load(), DiskMisses: e.diskMisses.Load(),
-		DiskWrites: e.diskWrites.Load(), DiskEvictions: e.diskEvictions.Load(),
-		DiskCorrupt: e.diskCorrupt.Load(),
+	collect := func() CacheStats {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return CacheStats{
+			Size: len(e.bases), Capacity: e.cacheCap,
+			Hits: e.hits.Load(), Misses: e.misses.Load(),
+			DiskHits: e.diskHits.Load(), DiskMisses: e.diskMisses.Load(),
+			DiskWrites: e.diskWrites.Load(), DiskEvictions: e.diskEvictions.Load(),
+			DiskCorrupt: e.diskCorrupt.Load(),
+			PoolHits:    e.poolHits.Load(), PoolMisses: e.poolMisses.Load(),
+		}
 	}
+	prev := collect()
+	for i := 0; i < 4; i++ {
+		cur := collect()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // InvalidateCache drops every cached compiled base. Call it after
@@ -238,7 +277,7 @@ func (e *Engine) instance(sc *Scenario) (*compiled, error) {
 	}
 	s := base.solver
 	if shared {
-		s = s.Clone()
+		s = e.takeClone(base)
 	}
 	return e.specialize(base, sc, s), nil
 }

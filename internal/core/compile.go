@@ -49,6 +49,11 @@ type compiled struct {
 	selectors []selector
 	selByName map[string]int // name -> index in selectors
 
+	// pool holds pristine pre-made clones of solver for cached bases
+	// (see pool.go). Set by compileBase/restoreBase; per-query compiled
+	// values returned by specialize leave it nil.
+	pool *clonePool
+
 	workloads []*kb.Workload
 	pinnedCtx map[string]bool // context atoms with known values
 
@@ -111,6 +116,7 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 		selByName:  make(map[string]int),
 		pinnedCtx:  make(map[string]bool),
 		derivedCtx: make(map[string]bool),
+		pool:       &clonePool{},
 	}
 	if err := c.pickWorkloads(); err != nil {
 		return nil, err

@@ -136,33 +136,69 @@ func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
 
 // writeDiskBase persists a freshly compiled base, then enforces the
 // eviction bounds. Best-effort: failures are silent (the cache is an
-// accelerator, not a store of record), but successful writes are counted.
-func (e *Engine) writeDiskBase(base *compiled, fingerprint string) {
+// accelerator, not a store of record), but successful writes are counted
+// and reported.
+func (e *Engine) writeDiskBase(base *compiled, fingerprint string) bool {
 	dir, hash, maxFiles, maxBytes := e.diskConfig()
 	if dir == "" {
-		return
+		return false
 	}
 	data := snapshotBase(base, hash)
 	e.diskMu.Lock()
 	defer e.diskMu.Unlock()
 	tmp, err := os.CreateTemp(dir, "nabase-*.tmp")
 	if err != nil {
-		return
+		return false
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		_ = os.Remove(tmp.Name())
-		return
+		return false
 	}
 	// rename is atomic within the directory: concurrent readers see the
 	// old file or the new one, never a torn mix.
 	if err := os.Rename(tmp.Name(), snapshotPath(dir, fingerprint)); err != nil {
 		_ = os.Remove(tmp.Name())
-		return
+		return false
 	}
 	e.diskWrites.Add(1)
 	e.evictDisk(dir, maxFiles, maxBytes)
+	return true
+}
+
+// FlushDiskCache writes a snapshot file for every in-memory base that
+// does not already have one on disk, and returns how many it wrote.
+// Normal operation writes snapshots synchronously at compile time, so
+// this is usually a no-op; it matters when the cache directory was
+// configured (or the disk tier recovered) after bases were compiled, and
+// it gives a draining server a cheap "everything warm is persisted"
+// guarantee before exit. No-op without a cache directory.
+func (e *Engine) FlushDiskCache() int {
+	dir, _, _, _ := e.diskConfig()
+	if dir == "" {
+		return 0
+	}
+	type entry struct {
+		key  string
+		base *compiled
+	}
+	e.mu.RLock()
+	entries := make([]entry, 0, len(e.bases))
+	for key, base := range e.bases {
+		entries = append(entries, entry{key, base})
+	}
+	e.mu.RUnlock()
+	written := 0
+	for _, ent := range entries {
+		if _, err := os.Stat(snapshotPath(dir, ent.key)); err == nil {
+			continue
+		}
+		if e.writeDiskBase(ent.base, ent.key) {
+			written++
+		}
+	}
+	return written
 }
 
 // quarantine renames a rejected cache file out of the lookup namespace so

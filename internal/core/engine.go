@@ -51,6 +51,13 @@ type Engine struct {
 	// workers is the enumeration worker-pool size; 0 means the default,
 	// runtime.GOMAXPROCS(0) at query time. See SetWorkers.
 	workers atomic.Int32
+
+	// poolSize is the per-base pre-clone pool target (see SetClonePool);
+	// 0 disables pooling. poolHits/poolMisses count queries served from a
+	// pooled clone vs queries that cloned inline.
+	poolSize   atomic.Int32
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
 }
 
 // New validates the knowledge base and returns an engine over it.

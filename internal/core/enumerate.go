@@ -114,7 +114,7 @@ func (e *Engine) EnumerateCtx(ctx context.Context, sc Scenario, max int, b Budge
 	}
 	solver := base.solver
 	if shared {
-		solver = solver.Clone()
+		solver = e.takeClone(base)
 	}
 	g := newEnumGov(ctx, b)
 	defer g.done()

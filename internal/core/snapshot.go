@@ -372,6 +372,7 @@ func (e *Engine) restoreBase(shape *Scenario, kbHash [32]byte, data []byte) (*co
 		sysLit:     make(map[string]sat.Lit),
 		hwLit:      make(map[string]sat.Lit),
 		selByName:  make(map[string]int, nSel),
+		pool:       &clonePool{},
 		pinnedCtx:  make(map[string]bool),
 		derivedCtx: make(map[string]bool),
 		frozen:     true,
