@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
 
 # BENCH is the JSON file the bench target writes and bench-diff compares
 # against; point it at the next PR's file when cutting a new baseline.
-BENCH ?= BENCH_PR6.json
+BENCH ?= BENCH_PR7.json
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ parallel-diff:
 snapshot-diff:
 	$(GO) test -run='TestSnapshotRestoreSolvesIdentically|TestDiskCacheDifferential|TestDiskWarmSkipsCompile' -count=1 ./internal/sat ./internal/core
 
+# portfolio-diff pins the portfolio determinism contract under the race
+# detector: sat-layer worker invariance (Status/Winner/Model identical at
+# 1/2/4/8 workers), the facade-level §5.1 differential (verdicts, designs
+# and explanations independent of SetPortfolio width), and the clause
+# ring's concurrent-safety hammer.
+portfolio-diff:
+	$(GO) test -race -run='TestRacePortfolioWorkerInvariance|TestShareConcurrentHammer|TestPortfolioSharesClauses' -count=1 ./internal/sat
+	$(GO) test -race -run='TestPortfolioWorkerInvariance|TestWarmStartRoundTrip' -count=1 .
+
 # serve-smoke boots the query service on a random port, runs one query
 # per mode, hits /healthz and /statsz, injects one fault, SIGTERMs the
 # process, and asserts a clean drain — the full serve lifecycle under the
@@ -78,7 +87,7 @@ fuzz-smoke:
 # snapshot differentials, the hot-path allocation budgets, the serve
 # lifecycle smoke, a fuzz smoke over both snapshot decoders, and a
 # benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
+verify: build vet test race parallel-diff snapshot-diff portfolio-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -649,3 +649,126 @@ func BenchmarkCompile(b *testing.B) {
 		}
 	}
 }
+
+// stressCatalog grows the §5.1 case-study catalog with an "environment
+// model": a phase-transition random 3-SAT rule over free context atoms
+// (the joint environment the reasoner must prove consistent with any
+// deployment) plus a CXL capacity matrix that collapses to a pigeonhole
+// contradiction when cxl_pooling is off. The Q3-style what-if against
+// this catalog is the hardest UNSAT query in the suite — tens of
+// thousands of conflicts where the plain §5.1 queries take under a
+// hundred. The env seed is chosen so the environment alone is
+// satisfiable (the cxl_pooling=true family member must be feasible).
+func stressCatalog() *netarch.KB {
+	k := catalog.CaseStudy()
+	k.Workloads = append(k.Workloads, catalog.BatchAnalyticsWorkload(), catalog.StorageWorkload())
+	r := rand.New(rand.NewSource(1))
+	const envVars = 240
+	var env []kb.Expr
+	for i := 0; i < int(4.2*float64(envVars)); i++ {
+		c := make([]kb.Expr, 3)
+		for j := range c {
+			a := kb.CtxAtom(fmt.Sprintf("env_x%d", r.Intn(envVars)+1))
+			if r.Intn(2) == 0 {
+				a = kb.Not(a)
+			}
+			c[j] = a
+		}
+		env = append(env, kb.Or(c...))
+	}
+	k.Rules = append(k.Rules, kb.Rule{
+		Name: "environment_model",
+		Expr: kb.And(env...),
+		Note: "joint feasibility model of the deployment environment",
+	})
+	slot := func(p, h int) kb.Expr { return kb.CtxAtom(fmt.Sprintf("cxl_seg%d_slot%d", p, h)) }
+	var php []kb.Expr
+	for p := 0; p < 6; p++ {
+		row := make([]kb.Expr, 5)
+		for h := 0; h < 5; h++ {
+			row[h] = slot(p, h)
+		}
+		php = append(php, kb.Or(row...))
+	}
+	for h := 0; h < 5; h++ {
+		for p1 := 0; p1 < 6; p1++ {
+			for p2 := p1 + 1; p2 < 6; p2++ {
+				php = append(php, kb.Or(kb.Not(slot(p1, h)), kb.Not(slot(p2, h))))
+			}
+		}
+	}
+	k.Rules = append(k.Rules, kb.Rule{
+		Name: "cxl_capacity_matrix",
+		Expr: kb.Or(kb.CtxAtom("cxl_pooling"), kb.And(php...)),
+		Note: "without pooling, six resident memory segments must fit five local CXL slots",
+	})
+	return k
+}
+
+// BenchmarkPortfolioWhatIf measures the hardest UNSAT what-if (the Q3
+// CXL query against stressCatalog) in a long-lived engine answering a
+// scenario family, PR 7's target workload. workers=1 is the baseline
+// single-solver engine. workers=8 is the full portfolio stack as it
+// ships: SetPortfolio(8) + SetWarmStart(true), so each query races a
+// diversified team seeded from the family's previous solve. Both engines
+// answer the feasible cxl_pooling=true member and one cold what-if off
+// the clock (the service steady state the amortization story targets);
+// iterations then measure the repeated what-if. The imports/op metric
+// (benchjson Extra) reports shared-clause traffic per query. On a
+// single-CPU host the win is entirely profile seeding — the race itself
+// costs a slice of every worker — while multi-core hosts add the
+// diversified-race win on the cold path.
+func BenchmarkPortfolioWhatIf(b *testing.B) {
+	on := netarch.Scenario{
+		Workloads:  []string{"inference_app", "batch_analytics", "storage_backend"},
+		NumServers: 64,
+		Context:    map[string]bool{"pfc_enabled": true, "cxl_pooling": true},
+	}
+	off := on
+	off.Context = map[string]bool{"pfc_enabled": true, "cxl_pooling": false}
+
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := netarch.NewEngine(stressCatalog())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers > 1 {
+				eng.SetPortfolio(workers)
+				eng.SetWarmStart(true)
+			}
+			// Prime off the clock: the feasible family member, then one
+			// cold what-if (first-query compile + first UNSAT proof).
+			rep, err := eng.Synthesize(on)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Verdict != netarch.Feasible {
+				b.Fatalf("cxl_pooling=true member must be feasible, got %v", rep.Verdict)
+			}
+			if _, err := eng.Synthesize(off); err != nil {
+				b.Fatal(err)
+			}
+			_, imported0 := eng.PortfolioStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := eng.Synthesize(off)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Verdict != netarch.Infeasible {
+					b.Fatalf("what-if must be infeasible, got %v", rep.Verdict)
+				}
+			}
+			b.StopTimer()
+			// Clause traffic concentrates in the cold priming race (warm
+			// queries end before helpers hit a restart boundary), so
+			// report it as an absolute metric next to the steady-state
+			// rate. Metrics land after ResetTimer, which clears them.
+			_, imported := eng.PortfolioStats()
+			b.ReportMetric(float64(imported0), "coldimports")
+			b.ReportMetric(float64(imported-imported0)/float64(b.N), "imports/op")
+		})
+	}
+}

@@ -69,6 +69,9 @@ Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
   -workers N          solver clones enumerating design classes in parallel
                       (disambiguate/multi; 0 = one per CPU; results are
                       identical whatever the worker count)
+  -portfolio N        race N diversified solvers per decision query
+                      (synth/check/explain/multi; <=1 = off; verdicts are
+                      identical whatever the width)
 
 Cache flags:
   -cache-dir DIR      persist compiled bases to DIR and revive them on
@@ -86,6 +89,7 @@ flags set the server-side policy ceiling clients may only tighten):
                       it requests shed with 429 + Retry-After
   -drain-timeout D    graceful-drain deadline on SIGINT/SIGTERM
   -clone-pool N       pre-cloned solvers per base (0 = max-inflight)
+  -portfolio N        diversified solver race width per decision query
   -chaos SPEC         fault injection: seed=N,rate=F[,event=solve|conflict|both]
 
 Profiling flags (before the command: netarch -cpuprofile=cpu.out synth ...):
@@ -311,6 +315,16 @@ func workersFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine)) {
 	return func(eng *netarch.Engine) { eng.SetWorkers(*workers) }
 }
 
+// portfolioFlag registers -portfolio and returns an applier that sets
+// the engine's diversified solver-race width for decision queries (see
+// Engine.SetPortfolio). Like -workers it is a pure latency knob:
+// verdicts, designs, and explanations do not depend on it for any
+// value > 1 (DESIGN.md §13).
+func portfolioFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine)) {
+	n := fs.Int("portfolio", 0, "diversified solver race width for decision queries (<=1 = off)")
+	return func(eng *netarch.Engine) { eng.SetPortfolio(*n) }
+}
+
 // cacheDirFlag registers -cache-dir and returns an applier that turns on
 // the engine's persistent compiled-base cache (see Engine.SetCacheDir).
 func cacheDirFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine) error) {
@@ -350,6 +364,7 @@ func cmdSolve(args []string, mode string) error {
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
+	setPortfolio := portfolioFlag(fs)
 	setCacheDir := cacheDirFlag(fs)
 	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
 	if err := fs.Parse(args); err != nil {
@@ -374,6 +389,7 @@ func cmdSolve(args []string, mode string) error {
 		return err
 	}
 	setWorkers(eng)
+	setPortfolio(eng)
 	if err := setCacheDir(eng); err != nil {
 		return err
 	}
@@ -462,6 +478,7 @@ func cmdMulti(args []string) error {
 	getScenario, objectives := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
+	setPortfolio := portfolioFlag(fs)
 	setCacheDir := cacheDirFlag(fs)
 	rounds := fs.Int("rounds", 3, "rounds of synth+explain+optimize to run")
 	cacheStats := fs.Bool("cache-stats", true, "print compiled-base cache stats after the queries")
@@ -484,6 +501,7 @@ func cmdMulti(args []string) error {
 		return err
 	}
 	setWorkers(eng)
+	setPortfolio(eng)
 	if err := setCacheDir(eng); err != nil {
 		return err
 	}
@@ -565,6 +583,7 @@ func cmdCheck(args []string) error {
 	srvName := fs.String("server", "", "selected server SKU")
 	getScenario, _ := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
+	setPortfolio := portfolioFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -589,6 +608,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
+	setPortfolio(eng)
 	ctx, stopSignals := queryContext()
 	defer stopSignals()
 	rep, err := eng.CheckCtx(ctx, d, sc, getBudget())

@@ -279,7 +279,16 @@ func (e *Engine) instance(sc *Scenario) (*compiled, error) {
 	if shared {
 		s = e.takeClone(base)
 	}
-	return e.specialize(base, sc, s), nil
+	c := e.specialize(base, sc, s)
+	if shared {
+		// Remember the frozen base so the portfolio can mint helper
+		// clones from it (clone + re-specialize reproduces this instance
+		// exactly — specialize is deterministic). On the cache-off path
+		// c.solver IS the base's solver, already specialized, so helpers
+		// must clone c.solver instead; c.base stays nil to signal that.
+		c.base = base
+	}
+	return c, nil
 }
 
 // specialize layers one query's requirements onto a compiled base:
@@ -307,6 +316,7 @@ func (e *Engine) specialize(base *compiled, sc *Scenario, solver *sat.Solver) *c
 		coresUsed:   base.coresUsed,
 		coresTotal:  base.coresTotal,
 		costTotal:   base.costTotal,
+		warm:        base.warm,
 		totalKFlows: base.totalKFlows,
 		maxPeakBW:   base.maxPeakBW,
 	}

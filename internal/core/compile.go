@@ -54,6 +54,20 @@ type compiled struct {
 	// values returned by specialize leave it nil.
 	pool *clonePool
 
+	// base points back at the shared compiled base a specialized query
+	// instance was cloned from, or is nil when the instance owns its
+	// solver outright (cache disabled). The portfolio uses it to mint
+	// helper clones from the frozen base + re-specialization instead of
+	// deep-copying the query solver.
+	base *compiled
+
+	// warm holds the scenario family's warm-start profile (see
+	// warmstart.go in internal/sat): the phases and quantized activities
+	// of the last solve over this base, persisted in the snapshot
+	// envelope. It is a shared pointer — specialized instances alias the
+	// base's slot — so profiles survive across queries and flow to disk.
+	warm *warmSlot
+
 	workloads []*kb.Workload
 	pinnedCtx map[string]bool // context atoms with known values
 
@@ -117,6 +131,7 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 		pinnedCtx:  make(map[string]bool),
 		derivedCtx: make(map[string]bool),
 		pool:       &clonePool{},
+		warm:       &warmSlot{},
 	}
 	if err := c.pickWorkloads(); err != nil {
 		return nil, err
@@ -922,7 +937,12 @@ func (c *compiled) assumptions() []sat.Lit {
 
 // designFromModel reads a Design off the current solver model.
 func (c *compiled) designFromModel() *Design {
-	model := c.solver.Model()
+	return c.designFrom(c.solver.Model())
+}
+
+// designFrom reads a Design off the given model (the solver's own, or
+// one returned by a portfolio race whose winning solver is elsewhere).
+func (c *compiled) designFrom(model []bool) *Design {
 	lit := func(l sat.Lit) bool { return model[l.Var()-1] != l.Neg() }
 	d := &Design{
 		Hardware: map[kb.HardwareKind]string{},

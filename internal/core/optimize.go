@@ -53,7 +53,7 @@ func (e *Engine) OptimizeCtx(ctx context.Context, sc Scenario, objectives []Obje
 	case sat.Unsat:
 		res := &OptimizeResult{Report: Report{
 			Verdict:     Infeasible,
-			Explanation: e.minimizeCore(c, nil, g),
+			Explanation: e.minimizeCore(c, nil, g, false),
 		}}
 		res.setSpent(g.spent())
 		return res, nil

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"netarch/internal/sat"
+)
+
+// This file wires diversified portfolio solving (internal/sat
+// RacePortfolio) into the engine's decision path, plus the warm-start
+// profile plumbing that lets one solve seed the next over the same
+// scenario family.
+
+// warmSlot holds a compiled base's warm-start profile. It is a separate
+// heap object (not an inline field on compiled) so specialized query
+// instances can alias the base's slot, and so compiled values stay
+// copyable — atomic.Pointer must not be copied after first use.
+type warmSlot struct {
+	p atomic.Pointer[sat.WarmProfile]
+}
+
+// SetPortfolio sets the number of diversified solver workers raced per
+// decision query (synthesize/check/explain and the serve what-ifs);
+// n <= 1 disables racing and restores the single-solver path exactly.
+//
+// The race preserves the engine's determinism contract: verdicts,
+// models, and explanations are independent of n and of scheduling for
+// every n > 1 (worker 0 is a reference whose search never consumes
+// shared clauses, Unsat is sound from any worker, and explanations are
+// re-minimized verdict-first — see sat.RacePortfolio). Note that n == 1
+// keeps the legacy conflict-core-seeded minimization, which may pick a
+// different (equally minimal) explanation than the portfolio path.
+// Safe to call concurrently with queries.
+func (e *Engine) SetPortfolio(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.portfolio.Store(int32(n))
+}
+
+// SetWarmStart toggles warm-start reuse: after each decision query the
+// engine snapshots the reference solver's phases and quantized VSIDS
+// activities against the compiled base, and later queries over the same
+// scenario family apply that profile before solving. Profiles persist in
+// the snapshot envelope (SetCacheDir), so warmth survives restarts.
+//
+// Off by default: a profile makes the search depend on query history, so
+// repeating one query need not replay an identical search (results are
+// still correct, and portfolio verdicts remain worker-count independent,
+// but byte-level reproducibility across a sequence of queries is lost).
+func (e *Engine) SetWarmStart(on bool) { e.warmStart.Store(on) }
+
+// PortfolioStats reports the engine-lifetime clause-exchange volume of
+// portfolio queries: how many learnt clauses workers published to the
+// ring and how many were imported by helpers. Zero on both when the
+// portfolio has never been enabled.
+func (e *Engine) PortfolioStats() (exported, imported int64) {
+	return e.portExported.Load(), e.portImported.Load()
+}
+
+// warmProfile returns the instance's stored warm-start profile, nil when
+// none has been recorded yet.
+func (c *compiled) warmProfile() *sat.WarmProfile {
+	if c.warm == nil {
+		return nil
+	}
+	return c.warm.p.Load()
+}
+
+// storeWarmProfile snapshots the reference solver's current phases and
+// activities into the base's warm slot. Profiles are always extracted
+// from c.solver — the deterministic reference — and truncated to the
+// base vocabulary when the instance is a specialized clone (selector
+// variables are query-scoped and meaningless to the next query).
+func (c *compiled) storeWarmProfile() {
+	if c.warm == nil {
+		return
+	}
+	p := c.solver.ExtractProfile()
+	if c.base != nil {
+		p.Truncate(c.base.solver.NumVars())
+	}
+	c.warm.p.Store(p)
+}
+
+// portfolioTeam mints the diversified worker team for one decision
+// query: the query's own solver as the deterministic reference plus n-1
+// helper clones with perturbed heuristics. Helpers are minted from the
+// frozen base (batch pool acquire + re-specialization, which is
+// deterministic) when the instance came from the cache, and from a
+// direct clone of the query solver otherwise. The team is built once
+// per query and reused across the main race and every minimization
+// trial — clause exchange is sound across trials because learnt clauses
+// are implied by the formula alone, never by the assumptions in force
+// when they were derived. Helpers get one work allowance for the whole
+// query (the reference's is re-armed per phase by the governor).
+func (e *Engine) portfolioTeam(b Budget, c *compiled, n int) []*sat.Solver {
+	solvers := make([]*sat.Solver, 1, n)
+	solvers[0] = c.solver
+	if c.base != nil {
+		for _, h := range e.takeCloneN(c.base, n-1) {
+			solvers = append(solvers, e.specialize(c.base, c.sc, h).solver)
+		}
+	} else {
+		for i := 1; i < n; i++ {
+			solvers = append(solvers, c.solver.Clone())
+		}
+	}
+	ref := c.solver.Options()
+	for i := 1; i < len(solvers); i++ {
+		h := solvers[i]
+		h.SetOptions(sat.PortfolioOptions(i, ref))
+		h.SetBudget(b.MaxConflicts, b.MaxDecisions)
+	}
+	return solvers
+}
+
+// racePortfolio runs one decision (the main solve or a minimization
+// trial) as a diversified race over the team, then re-arms the workers
+// for the next race of the same query.
+func (e *Engine) racePortfolio(g *governor, team []*sat.Solver, assumps []sat.Lit) sat.PortfolioResult {
+	res := sat.RacePortfolio(g.ctx, team, assumps)
+	// The race interrupts every worker on teardown, and the team still
+	// has minimization work ahead of it. Re-arm the workers, then
+	// re-assert if the context fired meanwhile: the watchdog only
+	// interrupts after the context's Err is set, so a nil Err after the
+	// clear proves no watchdog interrupt was swallowed, and a non-nil
+	// Err restores the conservative stopped state.
+	if res.Status != sat.Unknown {
+		for _, s := range team {
+			s.ClearInterrupt()
+		}
+		if g.ctx.Err() != nil {
+			for _, s := range team {
+				s.Interrupt()
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"netarch/internal/kb"
+	"netarch/internal/sat"
+)
+
+// TestSnapshotWarmProfileRoundTrip pins the v3 warm section of the
+// snapshot envelope: a profile stored on a base survives encode/decode
+// bit-for-bit, and a base with no profile round-trips to no profile.
+func TestSnapshotWarmProfileRoundTrip(t *testing.T) {
+	k := miniKB()
+	e := mustEngine(t, k)
+	hash := kbContentHash(k)
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	shape := baseShape(&sc)
+	base, err := e.compileBase(&shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bare base: no warm section payload, decodes to a nil profile.
+	bare, err := e.restoreBase(&shape, hash, snapshotBase(base, hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.warm.p.Load() != nil {
+		t.Fatal("profile materialized out of a profile-less snapshot")
+	}
+
+	n := base.solver.NumVars()
+	prof := &sat.WarmProfile{
+		Phases:   make([]bool, n),
+		Activity: make([]uint16, n),
+	}
+	for i := 0; i < n; i++ {
+		prof.Phases[i] = i%3 == 0
+		prof.Activity[i] = uint16(i * 7919)
+	}
+	base.warm.p.Store(prof)
+
+	restored, err := e.restoreBase(&shape, hash, snapshotBase(base, hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.warm.p.Load()
+	if got == nil {
+		t.Fatal("warm profile lost in the snapshot round trip")
+	}
+	if !reflect.DeepEqual(got, prof) {
+		t.Fatalf("profile round trip diverged:\ngot  %+v\nwant %+v", got, prof)
+	}
+
+	// A profile wider than the restored base's variable space is a
+	// corruption signal, not something to silently truncate at decode.
+	base.warm.p.Store(&sat.WarmProfile{
+		Phases:   make([]bool, n+5),
+		Activity: make([]uint16, n+5),
+	})
+	if _, err := e.restoreBase(&shape, hash, snapshotBase(base, hash)); err == nil {
+		t.Fatal("oversized warm profile decoded without error")
+	}
+}

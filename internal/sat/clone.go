@@ -34,6 +34,10 @@ func (s *Solver) Clone() *Solver {
 	if s.decisionLevel() != 0 {
 		panic("sat: Clone called above decision level 0")
 	}
+	// A clause-sharing attachment (SetShare) is NOT inherited: the ring
+	// pairs a solver with a portfolio race, and a clone belongs to none
+	// until its own race attaches it. The seeded flag IS copied — the
+	// clone's activities already carry any applied perturbation.
 	n := &Solver{
 		opts:         s.opts,
 		nVars:        s.nVars,
@@ -44,6 +48,7 @@ func (s *Solver) Clone() *Solver {
 		maxLearnts:   s.maxLearnts,
 		learntGrowth: s.learntGrowth,
 		restartBase:  s.restartBase,
+		seeded:       s.seeded,
 	}
 	n.ca = s.ca.clone()
 	n.clauses = append([]cref(nil), s.clauses...)

@@ -1,0 +1,87 @@
+package sat
+
+// Warm-start profiles capture the cheap-to-store part of a finished
+// search — saved phases and a quantized snapshot of VSIDS activities —
+// so a later solve over the same (or a structurally related) instance
+// can start where the last one left off. Queries in one scenario family
+// share almost all structure, so the variable ordering and polarities
+// that closed the previous solve are a strong prior for the next.
+//
+// Activities are stored as uint16 fractions of the running maximum:
+// absolute magnitudes are meaningless across solves (the solver rescales
+// them continually), only the relative order matters, and 16 bits
+// preserve order far beyond what branching can distinguish.
+
+// WarmProfile is a snapshot-persistable search prior. Zero values (no
+// phases, no activity) are valid and apply as a no-op prefix.
+type WarmProfile struct {
+	Phases   []bool   // saved polarity per variable (true = branch negative)
+	Activity []uint16 // VSIDS activity / max, quantized to 0..65535
+}
+
+// ExtractProfile captures the solver's current phases and activities.
+// The receiver is read but not mutated.
+func (s *Solver) ExtractProfile() *WarmProfile {
+	p := &WarmProfile{
+		Phases:   append([]bool(nil), s.polarity[:s.nVars]...),
+		Activity: make([]uint16, s.nVars),
+	}
+	max := 0.0
+	for _, a := range s.activity[:s.nVars] {
+		if a > max {
+			max = a
+		}
+	}
+	if max > 0 {
+		for v, a := range s.activity[:s.nVars] {
+			p.Activity[v] = uint16(a / max * 65535)
+		}
+	}
+	return p
+}
+
+// Truncate trims the profile to its first n variables. Used when a
+// profile extracted from a specialized query clone (which layers
+// selector variables on top) is stored against the shared base.
+func (p *WarmProfile) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if len(p.Phases) > n {
+		p.Phases = p.Phases[:n]
+	}
+	if len(p.Activity) > n {
+		p.Activity = p.Activity[:n]
+	}
+}
+
+// ApplyProfile overwrites the solver's saved phases and activities with
+// the profile's, as a prefix (profiles from a smaller vocabulary leave
+// later variables untouched). Must be called at decision level 0.
+func (s *Solver) ApplyProfile(p *WarmProfile) {
+	if s.decisionLevel() != 0 {
+		panic("sat: ApplyProfile called above decision level 0")
+	}
+	if p == nil {
+		return
+	}
+	for v, ph := range p.Phases {
+		if v >= s.nVars {
+			break
+		}
+		s.polarity[v] = ph
+	}
+	n := len(p.Activity)
+	if n > s.nVars {
+		n = s.nVars
+	}
+	if n > 0 {
+		// Dequantize against varInc so freshly bumped variables still
+		// outrank the prior, letting the current conflict signal win.
+		scale := s.varInc / 65535
+		for v := 0; v < n; v++ {
+			s.activity[v] = float64(p.Activity[v]) * scale
+		}
+		s.order.rebuild()
+	}
+}

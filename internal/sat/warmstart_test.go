@@ -1,0 +1,76 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWarmProfileRoundTrip: a profile extracted from one solve biases a
+// fresh solver over the same instance without changing any verdict.
+func TestWarmProfileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 25; i++ {
+		nVars := 10 + r.Intn(8)
+		clauses := randomInstance(r, nVars, nVars*4, 3)
+		wantSat, _ := bruteForce(nVars, clauses)
+
+		first := NewSolver()
+		first.EnsureVars(nVars)
+		for _, c := range clauses {
+			first.AddClause(c...)
+		}
+		first.Solve()
+		p := first.ExtractProfile()
+		if len(p.Phases) != nVars || len(p.Activity) != nVars {
+			t.Fatalf("profile sized (%d,%d), want %d", len(p.Phases), len(p.Activity), nVars)
+		}
+
+		warm := NewSolver()
+		warm.EnsureVars(nVars)
+		for _, c := range clauses {
+			warm.AddClause(c...)
+		}
+		warm.ApplyProfile(p)
+		if got := warm.Solve(); (got == Sat) != wantSat {
+			t.Fatalf("instance %d: warm-started solve %v, want sat=%v", i, got, wantSat)
+		}
+		if got := warm.Solve(); (got == Sat) != wantSat {
+			t.Fatalf("instance %d: warm re-solve %v, want sat=%v", i, got, wantSat)
+		}
+	}
+}
+
+// TestWarmProfilePrefixAndTruncate: profiles apply as a prefix — smaller
+// profiles leave later variables alone, larger solvers ignore the tail —
+// and Truncate trims in place.
+func TestWarmProfilePrefixAndTruncate(t *testing.T) {
+	p := &WarmProfile{
+		Phases:   []bool{true, false, true, true},
+		Activity: []uint16{100, 65535, 3, 9},
+	}
+	p.Truncate(2)
+	if len(p.Phases) != 2 || len(p.Activity) != 2 {
+		t.Fatalf("Truncate(2) left (%d,%d)", len(p.Phases), len(p.Activity))
+	}
+	p.Truncate(10) // growing is a no-op
+	if len(p.Phases) != 2 {
+		t.Fatalf("Truncate(10) changed length to %d", len(p.Phases))
+	}
+
+	s := NewSolver()
+	s.EnsureVars(1) // smaller than the profile
+	s.AddClause(1)
+	s.ApplyProfile(p) // must not panic or write past nVars
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+
+	big := NewSolver()
+	big.EnsureVars(8) // larger than the profile
+	big.AddClause(1, 2)
+	big.ApplyProfile(p)
+	if st := big.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+	big.ApplyProfile(nil) // nil profile is a no-op
+}

@@ -57,6 +57,12 @@ type Config struct {
 	// MaxInFlight; negative disables pooling.
 	ClonePool int
 
+	// Portfolio sets the diversified solver-race width for decision
+	// queries (core.Engine.SetPortfolio): <= 1 runs the single-solver
+	// path (the default). Worth enabling when hard what-if/UNSAT tails
+	// dominate and cores outnumber the in-flight query load.
+	Portfolio int
+
 	// Chaos, when non-nil, is wired into the engine's fault hook at
 	// startup: a seeded fault-injection profile for chaos testing.
 	Chaos *Chaos
@@ -131,6 +137,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ClonePool > 0 {
 		s.eng.SetClonePool(cfg.ClonePool)
+	}
+	if cfg.Portfolio > 1 {
+		s.eng.SetPortfolio(cfg.Portfolio)
 	}
 	if cfg.Chaos != nil {
 		// Installed once, before any query runs; the profile's own
