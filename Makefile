@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff delta-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
 
 # BENCH is the JSON file the bench target writes and bench-diff compares
 # against; point it at the next PR's file when cutting a new baseline.
-BENCH ?= BENCH_PR7.json
+BENCH ?= BENCH_PR8.json
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,16 @@ portfolio-diff:
 serve-smoke:
 	$(GO) test -race -run='TestServeSmoke' -count=1 ./internal/serve
 
+# delta-diff pins the incremental-compilation byte-identity contract
+# (DESIGN.md §14): a delta recompile (shard diff + arena splice) of an
+# add/remove/edit must produce solver state byte-identical to a
+# from-scratch compile at 1/2/8 workers, at both the logic layer
+# (ConvertShardsDelta vs ConvertShards) and the engine layer (UpdateKB
+# vs cold compile), plus the live-reload staleness ordering.
+delta-diff:
+	$(GO) test -run='TestConvertShardsDelta|TestUpdateKBByteIdentity|TestKBMutationStalenessOrdering' -count=1 ./internal/logic ./internal/core
+	$(GO) test -race -run='TestUpdateKBConcurrentQueries|TestServeReloadUnderLoad' -count=1 ./internal/core ./internal/serve
+
 # fuzz-smoke runs the snapshot decoders' fuzz targets briefly so the
 # untrusted-bytes contract (typed errors, no panics, no OOM) is
 # exercised on every gate, not only in dedicated fuzz sessions.
@@ -87,7 +97,7 @@ fuzz-smoke:
 # snapshot differentials, the hot-path allocation budgets, the serve
 # lifecycle smoke, a fuzz smoke over both snapshot decoders, and a
 # benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff portfolio-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
+verify: build vet test race parallel-diff snapshot-diff portfolio-diff delta-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -772,3 +772,121 @@ func BenchmarkPortfolioWhatIf(b *testing.B) {
 		})
 	}
 }
+
+// deltaStressCatalog is the live-update benchmark catalog: the case study
+// plus 100 "policy" rules, each a deep nested condition chain (depth 500)
+// over free policy atoms, guarded so it can never make the KB infeasible
+// (setting its guard atom false satisfies the rule). Chains are where
+// Tseitin conversion dominates compile time — the converter keys its
+// subformula cache on String(), which re-serializes the whole suffix at
+// every level, so conversion is quadratic in chain depth while the CNF
+// it emits (what Simplify and the solver build pay) stays linear —
+// exactly the regime where an operator's one-rule edit should not pay
+// for the other 99. rev selects the content of rule 0: two revs differ
+// in exactly one assertion, so UpdateKB(deltaStressCatalog(rev')) is a
+// one-assertion edit.
+func deltaStressCatalog(rev int) *netarch.KB {
+	k := catalog.CaseStudy()
+	const rules, depth = 100, 500
+	var deep func(r *rand.Rand, d int) kb.Expr
+	deep = func(r *rand.Rand, d int) kb.Expr {
+		leaf := func() kb.Expr {
+			a := kb.CtxAtom(fmt.Sprintf("pol_x%d", r.Intn(64)+1))
+			if r.Intn(2) == 0 {
+				return kb.Not(a)
+			}
+			return a
+		}
+		if d == 0 {
+			return leaf()
+		}
+		l, rest := leaf(), deep(r, d-1)
+		if r.Intn(2) == 0 {
+			return kb.And(l, rest)
+		}
+		return kb.Or(l, rest)
+	}
+	// Anchor rule: mentions every policy atom in fixed order, so editing
+	// one rule's tree cannot shift the solver-variable index of any atom
+	// another rule uses — exactly the stability an operator's catalog has
+	// (its context vocabulary doesn't churn when one rule is edited).
+	// Without it a one-rule edit would reshuffle atom registration order
+	// and force every policy shard to reconvert. Trivially satisfiable:
+	// any false atom (or a true anchor) satisfies the implication.
+	anchor := make([]kb.Expr, 0, 64+rules)
+	for i := 1; i <= 64; i++ {
+		anchor = append(anchor, kb.CtxAtom(fmt.Sprintf("pol_x%d", i)))
+	}
+	for i := 0; i < rules; i++ {
+		anchor = append(anchor, kb.CtxAtom(fmt.Sprintf("pol_guard%d", i)))
+	}
+	k.Rules = append(k.Rules, kb.Rule{
+		Name: "policy_vocab_anchor",
+		Expr: kb.Implies(kb.And(anchor...), kb.CtxAtom("pol_anchor")),
+		Note: "pins the policy atom vocabulary",
+	})
+	for i := 0; i < rules; i++ {
+		seed := int64(7 + i)
+		if i == 0 {
+			seed = int64(7 + rules + rev) // rev only perturbs rule 0
+		}
+		r := rand.New(rand.NewSource(seed))
+		k.Rules = append(k.Rules, kb.Rule{
+			Name: fmt.Sprintf("policy_%d", i),
+			Expr: kb.Or(kb.Not(kb.CtxAtom(fmt.Sprintf("pol_guard%d", i))), deep(r, depth)),
+			Note: "synthetic deep policy rule",
+		})
+	}
+	return k
+}
+
+// BenchmarkDeltaRecompile is the PR 8 acceptance benchmark: against the
+// deep-rule catalog, a one-assertion edit applied through UpdateKB
+// (shard diff + arena splice, DESIGN.md §14) vs recompiling the same
+// base from scratch. Both paths end in a base that is byte-identical to
+// a cold compile (delta-diff pins that); this measures what the identity
+// costs. The acceptance bar is delta >= 5x faster than full.
+func BenchmarkDeltaRecompile(b *testing.B) {
+	sc := netarch.Scenario{Workloads: []string{"inference_app"}}
+
+	b.Run("full", func(b *testing.B) {
+		eng, err := netarch.NewEngine(deltaStressCatalog(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.SetCacheCapacity(0) // every iteration compiles from scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Enumerate(sc, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("delta-edit", func(b *testing.B) {
+		eng, err := netarch.NewEngine(deltaStressCatalog(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Enumerate(sc, 0); err != nil { // warm the base
+			b.Fatal(err)
+		}
+		// Pre-build the two alternating revisions: constructing the
+		// catalog is the operator's editor, not the reload path.
+		revs := [2]*netarch.KB{deltaStressCatalog(1), deltaStressCatalog(2)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate revisions so every iteration is a real one-rule
+			// edit that delta-recompiles the warm base.
+			up, err := eng.UpdateKB(revs[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if up.BasesUpdated != 1 {
+				b.Fatalf("base not revalidated: %+v", up)
+			}
+		}
+	})
+}

@@ -45,6 +45,8 @@ Usage:
                                     (shows compiled-base cache amortization)
   netarch serve [flags]             long-lived HTTP/JSON query service with
                                     admission control and graceful drain
+  netarch reload [flags] <kb|->     push a new knowledge base to a running
+                                    serve instance (zero-downtime live update)
   netarch catalog [stats|systems|hardware|export|export-dsl]
   netarch kb <validate|to-json|to-dsl> <file|->
   netarch kb diff <old> <new>       compare two knowledge-base files
@@ -91,6 +93,12 @@ flags set the server-side policy ceiling clients may only tighten):
   -clone-pool N       pre-cloned solvers per base (0 = max-inflight)
   -portfolio N        diversified solver race width per decision query
   -chaos SPEC         fault injection: seed=N,rate=F[,event=solve|conflict|both]
+  -kb FILE            serve this knowledge base instead of the case study
+  -retry-after D      backoff hint on 429/503 (header rounds up to >= 1s)
+
+Reload flags (netarch reload [-addr host:port] <kbfile|->):
+  -addr HOST:PORT     the running serve instance (default 127.0.0.1:8080)
+  -timeout D          request deadline, covering the server-side recompiles
 
 Profiling flags (before the command: netarch -cpuprofile=cpu.out synth ...):
   -cpuprofile FILE    write a pprof CPU profile for the whole run to FILE
@@ -175,6 +183,8 @@ func run() int {
 		err = cmdMulti(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
+	case "reload":
+		err = cmdReload(args[1:])
 	case "catalog":
 		err = cmdCatalog(args[1:])
 	case "kb":

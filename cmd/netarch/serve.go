@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,6 +33,8 @@ func cmdServe(args []string) error {
 	portfolio := fs.Int("portfolio", 0, "diversified solver race width for decision queries (<=1 = off)")
 	maxEnum := fs.Int("max-enumerate", 64, "ceiling on per-request enumeration limits")
 	chaosSpec := fs.String("chaos", "", "fault-injection profile: seed=N,rate=F[,event=solve|conflict|both]")
+	kbFile := fs.String("kb", "", "knowledge-base file (JSON or DSL; default: built-in case study)")
+	retryAfter := fs.Duration("retry-after", 0, "backoff hint on 429/503 rejections (0 = 1s)")
 	getScenario, _ := scenarioFlags(fs)
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
@@ -47,7 +53,17 @@ func cmdServe(args []string) error {
 		}
 	}
 
-	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	k := netarch.CaseStudy()
+	if *kbFile != "" {
+		data, err := os.ReadFile(*kbFile)
+		if err != nil {
+			return err
+		}
+		if k, err = loadAnyKB(data); err != nil {
+			return err
+		}
+	}
+	eng, err := netarch.NewEngine(k)
 	if err != nil {
 		return err
 	}
@@ -68,6 +84,7 @@ func cmdServe(args []string) error {
 		Policy:       getBudget(),
 		MaxEnumerate: *maxEnum,
 		DrainTimeout: *drainTimeout,
+		RetryAfter:   *retryAfter,
 		Prewarm:      []netarch.Scenario{sc},
 		ClonePool:    *clonePool,
 		Portfolio:    *portfolio,
@@ -85,4 +102,73 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return srv.Run(ctx)
+}
+
+// cmdReload ships a knowledge-base file (JSON or DSL, "-" for stdin) to a
+// running server's /v1/admin/reload endpoint. The server delta-recompiles
+// its warm bases in place — in-flight queries finish on the old catalog,
+// queries admitted after the swap see the new one, and nothing is shed.
+func cmdReload(args []string) error {
+	fs := flag.NewFlagSet("reload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address of the running netarch serve instance")
+	timeout := fs.Duration("timeout", 2*time.Minute, "reload request deadline (covers the recompiles)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: netarch reload [-addr host:port] <kbfile|->")
+	}
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	// Parse locally first: catches syntax and validation problems without
+	// a round trip, and normalizes DSL input to the JSON the wire wants.
+	k, err := loadAnyKB(data)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := k.Save(&body); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+*addr+"/v1/admin/reload", &body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb serve.ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Kind != "" {
+			return fmt.Errorf("reload rejected (%s): %s", eb.Error.Kind, eb.Error.Detail)
+		}
+		return fmt.Errorf("reload failed: status %d: %s", resp.StatusCode, raw)
+	}
+	var rr serve.ReloadResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return fmt.Errorf("reload: malformed response: %w", err)
+	}
+	fmt.Printf("reloaded: %d changes, %d bases updated (%d dropped), %d shards reused / %d converted, %d profiles carried, %d snapshots rewritten, %dms\n",
+		rr.Changes, rr.BasesUpdated, rr.BasesDropped, rr.ShardsReused, rr.ShardsConverted,
+		rr.ProfilesCarried, rr.SnapshotsRewritten, rr.ElapsedMS)
+	return nil
 }

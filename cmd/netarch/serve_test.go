@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
 
 	"netarch"
+	"netarch/internal/kb"
+	"netarch/internal/serve"
 )
 
 // TestCmdSolveBudgetTripped pins the exit-4 path the signal handler
@@ -53,5 +58,66 @@ func TestCmdServeBadFlags(t *testing.T) {
 	}
 	if err := cmdServe([]string{"-addr", "not:a:valid:addr:at:all"}); err == nil {
 		t.Error("unlistenable address must be rejected")
+	}
+}
+
+// TestCmdReload drives the reload client against a live in-process
+// server: a DSL file on disk round-trips to JSON on the wire, the server
+// swaps catalogs, and the client's error paths (bad usage, unreadable
+// file, no server) all surface as errors rather than panics.
+func TestCmdReload(t *testing.T) {
+	eng, err := netarch.NewEngine(netarch.CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:  eng,
+		Addr:    "127.0.0.1:0",
+		Prewarm: []netarch.Scenario{{Workloads: []string{"inference_app"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship the case study (as JSON) with one extra rule.
+	k := netarch.CaseStudy()
+	k.Rules = append(k.Rules, kb.Rule{
+		Name: "cli_reload_marker",
+		Expr: kb.Implies(kb.CtxAtom("cli_reload"), kb.TrueExpr()),
+	})
+	kbFile := filepath.Join(t.TempDir(), "next.json")
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(kbFile, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReload([]string{"-addr", srv.Addr(), kbFile}); err != nil {
+		t.Fatalf("reload against live server: %v", err)
+	}
+
+	// Error paths.
+	if err := cmdReload([]string{"-addr", srv.Addr()}); err == nil {
+		t.Error("missing file argument must be a usage error")
+	}
+	if err := cmdReload([]string{"-addr", srv.Addr(), "/nonexistent/kb.json"}); err == nil {
+		t.Error("unreadable file must error")
+	}
+	if err := cmdReload([]string{"-addr", "127.0.0.1:1", "-timeout", "2s", kbFile}); err == nil {
+		t.Error("reload with no server listening must error")
 	}
 }

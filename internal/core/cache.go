@@ -41,13 +41,17 @@ type CacheStats struct {
 	// DiskHits: bases revived from a snapshot file. DiskMisses: lookups
 	// with no usable file. DiskWrites: snapshot files persisted.
 	// DiskEvictions: files removed by the size/count bound.
-	// DiskCorrupt: files rejected (bad CRC/magic/version, stale KB hash,
-	// fingerprint mismatch) and quarantined.
+	// DiskCorrupt: files rejected (bad CRC/magic/version, fingerprint
+	// mismatch) and quarantined. DiskStale: snapshots skipped because
+	// they were written from a different KB revision — left on disk
+	// untouched (the revision that wrote them may still be using them,
+	// and a live UpdateKB rewrites them in place), not quarantined.
 	DiskHits      int64
 	DiskMisses    int64
 	DiskWrites    int64
 	DiskEvictions int64
 	DiskCorrupt   int64
+	DiskStale     int64
 	// Clone-pool counters (all zero unless SetClonePool is active).
 	// PoolHits: queries served from a pre-made pristine clone.
 	// PoolMisses: queries that cloned inline because the pool was empty.
@@ -64,9 +68,9 @@ func (cs CacheStats) String() string {
 	}
 	s := fmt.Sprintf("%d bases cached (cap %d), %d hits / %d misses (%.0f%% hit rate)",
 		cs.Size, cs.Capacity, cs.Hits, cs.Misses, rate)
-	if cs.DiskHits+cs.DiskMisses+cs.DiskWrites+cs.DiskEvictions+cs.DiskCorrupt > 0 {
-		s += fmt.Sprintf("; disk: %d hits / %d misses, %d writes, %d evicted, %d corrupt",
-			cs.DiskHits, cs.DiskMisses, cs.DiskWrites, cs.DiskEvictions, cs.DiskCorrupt)
+	if cs.DiskHits+cs.DiskMisses+cs.DiskWrites+cs.DiskEvictions+cs.DiskCorrupt+cs.DiskStale > 0 {
+		s += fmt.Sprintf("; disk: %d hits / %d misses, %d writes, %d evicted, %d corrupt, %d stale",
+			cs.DiskHits, cs.DiskMisses, cs.DiskWrites, cs.DiskEvictions, cs.DiskCorrupt, cs.DiskStale)
 	}
 	if cs.PoolHits+cs.PoolMisses > 0 {
 		s += fmt.Sprintf("; pool: %d hits / %d misses", cs.PoolHits, cs.PoolMisses)
@@ -103,7 +107,7 @@ func (e *Engine) CacheStats() CacheStats {
 			Hits: e.hits.Load(), Misses: e.misses.Load(),
 			DiskHits: e.diskHits.Load(), DiskMisses: e.diskMisses.Load(),
 			DiskWrites: e.diskWrites.Load(), DiskEvictions: e.diskEvictions.Load(),
-			DiskCorrupt: e.diskCorrupt.Load(),
+			DiskCorrupt: e.diskCorrupt.Load(), DiskStale: e.diskStale.Load(),
 			PoolHits:    e.poolHits.Load(), PoolMisses: e.poolMisses.Load(),
 		}
 	}
@@ -131,8 +135,12 @@ func (e *Engine) InvalidateCache() {
 	defer e.mu.Unlock()
 	e.bases = make(map[string]*compiled)
 	e.baseOrder = nil
+	// Bump the KB generation: a compile that started before the
+	// invalidation must not insert its pre-mutation base into the emptied
+	// cache (baseFor checks the generation at insert time).
+	e.kbGen++
 	if e.cacheDir != "" {
-		e.kbHash = kbContentHash(e.kb)
+		e.kbHash = kbContentHash(e.kbCur)
 	}
 }
 
@@ -148,9 +156,25 @@ func (e *Engine) SetCacheCapacity(n int) {
 	}
 	e.cacheCap = n
 	for len(e.baseOrder) > n {
-		delete(e.bases, e.baseOrder[0])
-		e.baseOrder = e.baseOrder[1:]
+		e.evictOldestLocked()
 	}
+}
+
+// evictOldestLocked removes the oldest cached base (FIFO). Caller holds
+// the write lock. The order slice is slid down in place and its vacated
+// tail slot cleared — the previous `baseOrder = baseOrder[1:]` reslice
+// kept every evicted key alive in the backing array, pinning the strings
+// (and, for code holding the slice, the illusion the entries were gone)
+// until a much later append finally reallocated it.
+func (e *Engine) evictOldestLocked() {
+	if len(e.baseOrder) == 0 {
+		return
+	}
+	delete(e.bases, e.baseOrder[0])
+	copy(e.baseOrder, e.baseOrder[1:])
+	last := len(e.baseOrder) - 1
+	e.baseOrder[last] = ""
+	e.baseOrder = e.baseOrder[:last]
 }
 
 // baseShape strips a scenario to the fields that shape the compiled base.
@@ -208,6 +232,7 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 	shape := baseShape(sc)
 	e.mu.RLock()
 	enabled := e.cacheCap > 0
+	gen := e.kbGen
 	var key string
 	if enabled {
 		key = shape.fingerprint()
@@ -243,6 +268,15 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 		e.misses.Add(1)
 	}
 	e.mu.Lock()
+	if e.kbGen != gen {
+		// The KB moved (UpdateKB or InvalidateCache) while this base was
+		// compiling or loading: it belongs to the previous generation.
+		// Hand it to this query privately — it answers against the KB the
+		// query started under — but never cache or persist it, which
+		// would poison the fresh generation's cache.
+		e.mu.Unlock()
+		return fresh, false, nil
+	}
 	if existing := e.bases[key]; existing != nil {
 		// Lost a compile race: adopt the stored base so every query over
 		// this shape clones the same instance.
@@ -252,8 +286,7 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 		e.bases[key] = base
 		e.baseOrder = append(e.baseOrder, key)
 		if len(e.baseOrder) > e.cacheCap {
-			delete(e.bases, e.baseOrder[0])
-			e.baseOrder = e.baseOrder[1:]
+			e.evictOldestLocked()
 		}
 	}
 	e.mu.Unlock()

@@ -54,6 +54,16 @@ type compiled struct {
 	// values returned by specialize leave it nil.
 	pool *clonePool
 
+	// shards retains the per-assertion CNF conversion results this base
+	// was compiled from, so Engine.UpdateKB can delta-recompile it —
+	// reconverting only the assertions the KB edit actually changed (see
+	// logic.ConvertShardsDelta). Bases restored from disk snapshots carry
+	// no shard set (nil) and delta-recompile as a full reconversion;
+	// specialized per-query instances leave it nil too. The retention
+	// roughly doubles a base's clause memory — the price of sub-second
+	// live KB updates.
+	shards *logic.ShardSet
+
 	// base points back at the shared compiled base a specialized query
 	// instance was cloned from, or is nil when the instance owns its
 	// solver outright (cache disabled). The portfolio uses it to mint
@@ -115,14 +125,24 @@ var exclusiveRoles = map[kb.Role]bool{
 	kb.RoleLoadBalancer:      true,
 }
 
-// compileBase lowers the KB + scenario into a solver instance. With the
-// compiled-base cache this runs on a stripped "shape" scenario (see
-// baseShape) and the result is frozen: the instance is simplified once
-// and thereafter only cloned, never solved or mutated. Query-specific
-// requirements are layered on by specialize().
+// compileBase lowers the current KB + scenario into a solver instance.
+// With the compiled-base cache this runs on a stripped "shape" scenario
+// (see baseShape) and the result is frozen: the instance is simplified
+// once and thereafter only cloned, never solved or mutated.
+// Query-specific requirements are layered on by specialize().
 func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
+	return e.compileBaseWith(e.kbSnapshot(), sc, nil)
+}
+
+// compileBaseWith is compileBase against an explicit KB revision and an
+// optional previous shard set. UpdateKB uses it to rebuild cached bases
+// against the incoming KB: prev carries the outgoing base's per-assertion
+// conversion results, so only assertions the edit changed are reconverted
+// — and the result is still byte-identical to a cold compile of the new
+// KB (the ConvertShardsDelta contract, pinned by TestUpdateKBByteIdentity).
+func (e *Engine) compileBaseWith(k *kb.KB, sc *Scenario, prev *logic.ShardSet) (*compiled, error) {
 	c := &compiled{
-		kb:         e.kb,
+		kb:         k,
 		sc:         sc,
 		vocab:      logic.NewVocabulary(),
 		sysLit:     make(map[string]sat.Lit),
@@ -165,7 +185,8 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 	// the vocabulary to cover them so vocabulary and solver keep agreeing
 	// on the variable space.
 	base := c.vocab.Len()
-	cnf := logic.ConvertShards(base, c.pending, e.enumWorkers())
+	cnf, shards := logic.ConvertShardsDelta(base, c.pending, prev, e.enumWorkers())
+	c.shards = shards
 	c.pending = nil
 	for v := base; v < cnf.NumVars; v++ {
 		c.vocab.Fresh("")
@@ -178,6 +199,14 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 		c.solver.SetFaultHook(e.fault)
 	}
 	c.solver.EnsureVars(c.vocab.Len())
+	nLits := 0
+	for _, cl := range cnf.Clauses {
+		nLits += len(cl)
+	}
+	// Pre-size the arena for the whole CNF (capacity-only — snapshot
+	// bytes are unchanged): the exact clause and literal counts are known
+	// here, so the bulk load appends into one slab allocation.
+	c.solver.ReserveClauses(len(cnf.Clauses), nLits)
 	var lits []sat.Lit
 	for _, cl := range cnf.Clauses {
 		lits = lits[:0]

@@ -31,6 +31,7 @@ func (v DatalogViolation) String() string { return v.Kind + ": " + v.Detail }
 // workload properties; unspecified atoms are treated as false, matching
 // negation-as-failure semantics.
 func (e *Engine) DatalogCheck(design Design, sc Scenario) ([]DatalogViolation, error) {
+	k := e.kbSnapshot()
 	db := datalog.NewDB()
 	add := func(pred string, args ...string) {
 		if err := db.AddFact(pred, args...); err != nil {
@@ -39,8 +40,8 @@ func (e *Engine) DatalogCheck(design Design, sc Scenario) ([]DatalogViolation, e
 	}
 
 	// --- EDB: the knowledge base ---------------------------------------
-	for i := range e.kb.Systems {
-		s := &e.kb.Systems[i]
+	for i := range k.Systems {
+		s := &k.Systems[i]
 		add("system", s.Name, string(s.Role))
 		for _, p := range s.Solves {
 			add("solves", s.Name, string(p))
@@ -77,7 +78,7 @@ func (e *Engine) DatalogCheck(design Design, sc Scenario) ([]DatalogViolation, e
 		add("exclusiveRole", string(role))
 	}
 	for kind, name := range design.Hardware {
-		h := e.kb.HardwareByName(name)
+		h := k.HardwareByName(name)
 		if h == nil || h.Kind != kind {
 			return nil, fmt.Errorf("core: design selects unknown %s %q", kind, name)
 		}
@@ -88,7 +89,7 @@ func (e *Engine) DatalogCheck(design Design, sc Scenario) ([]DatalogViolation, e
 
 	// --- EDB: the design and query context ------------------------------
 	for _, s := range design.Systems {
-		if e.kb.SystemByName(s) == nil {
+		if k.SystemByName(s) == nil {
 			return nil, fmt.Errorf("core: design deploys unknown system %q", s)
 		}
 		add("deployed", s)
@@ -96,12 +97,12 @@ func (e *Engine) DatalogCheck(design Design, sc Scenario) ([]DatalogViolation, e
 	ctx := map[string]bool{}
 	workloads := sc.Workloads
 	if len(workloads) == 0 {
-		for i := range e.kb.Workloads {
-			workloads = append(workloads, e.kb.Workloads[i].Name)
+		for i := range k.Workloads {
+			workloads = append(workloads, k.Workloads[i].Name)
 		}
 	}
 	for _, wn := range workloads {
-		w := e.kb.WorkloadByName(wn)
+		w := k.WorkloadByName(wn)
 		if w == nil {
 			return nil, fmt.Errorf("core: unknown workload %q", wn)
 		}

@@ -3,10 +3,14 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
+
+	"netarch/internal/kb"
 )
 
 // The disk tier of the compiled-base cache: frozen bases are persisted as
@@ -17,13 +21,20 @@ import (
 //
 // Safety model: a cache file can change how fast an answer arrives, never
 // what it is. Every file is CRC-, version-, KB-hash-, and fingerprint-
-// checked on load; any rejection counts as DiskCorrupt, quarantines the
-// file (renamed with a ".bad" suffix, preserving the evidence without
-// retrying it forever), and falls through to a clean recompile. Writes go
-// through a temp file + rename, so concurrent processes — or a crash
-// mid-write — can never publish a torn file. Eviction is mtime-ordered
-// and bounded by both file count and total bytes; loads re-touch their
-// file so hot shapes survive.
+// checked on load. A structurally invalid file (bad CRC/magic/version,
+// fingerprint alias) counts as DiskCorrupt and is quarantined — renamed
+// with a ".bad" suffix, preserving the evidence without retrying it
+// forever. A file that is merely stale (written from a different KB
+// revision) counts as DiskStale and is left exactly where it is: it is
+// not evidence of corruption, a process still on that revision can keep
+// using it, and a live UpdateKB rewrites it in place. Either way the
+// lookup falls through to a clean recompile. Writes go through a temp
+// file + rename, so concurrent processes — or a crash mid-write — can
+// never publish a torn file. Eviction is mtime-ordered and bounded by
+// both file count and total bytes, counting quarantined ".bad" files
+// against the same budget so repeated corruption cannot grow the
+// directory without bound; loads re-touch their file so hot shapes
+// survive.
 
 const (
 	// baseSnapshotExt is the extension of live cache files; quarantined
@@ -47,17 +58,19 @@ const (
 // creating the directory. Safe to call concurrently with queries, but the
 // KB must not be mutated during the call (mutate + InvalidateCache first).
 func (e *Engine) SetCacheDir(dir string) error {
-	var hash [32]byte
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		hash = kbContentHash(e.kb)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cacheDir = dir
-	e.kbHash = hash
+	if dir != "" {
+		e.kbHash = kbContentHash(e.kbCur)
+	} else {
+		e.kbHash = [32]byte{}
+	}
 	if e.diskMaxFiles == 0 {
 		e.diskMaxFiles = DefaultDiskCacheFiles
 	}
@@ -82,10 +95,13 @@ func (e *Engine) SetDiskCacheLimit(maxFiles int, maxBytes int64) {
 }
 
 // diskConfig snapshots the disk-tier configuration under the read lock.
-func (e *Engine) diskConfig() (dir string, hash [32]byte, maxFiles int, maxBytes int64) {
+// The KB pointer is captured in the same critical section as the KB hash,
+// so restore-time derived-state recomputation always runs against the
+// exact KB revision the hash vouches for, even mid-UpdateKB.
+func (e *Engine) diskConfig() (dir string, hash [32]byte, k *kb.KB, maxFiles int, maxBytes int64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.cacheDir, e.kbHash, e.diskMaxFiles, e.diskMaxBytes
+	return e.cacheDir, e.kbHash, e.kbCur, e.diskMaxFiles, e.diskMaxBytes
 }
 
 // snapshotPath is the cache file for a shape fingerprint. The name hashes
@@ -97,12 +113,12 @@ func snapshotPath(dir, fingerprint string) string {
 }
 
 // loadDiskBase tries to revive the base for a shape from disk. It returns
-// nil on any miss — no tier configured, no file, or a file that failed
-// validation (which is counted, quarantined, and never retried). The
-// caller falls through to compileBase, so disk problems are invisible to
-// queries.
+// nil on any miss — no tier configured, no file, a stale file (counted,
+// left in place), or a file that failed structural validation (counted,
+// quarantined, never retried). The caller falls through to compileBase,
+// so disk problems are invisible to queries.
 func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
-	dir, hash, _, _ := e.diskConfig()
+	dir, hash, k, _, _ := e.diskConfig()
 	if dir == "" {
 		return nil
 	}
@@ -122,8 +138,15 @@ func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
 		e.diskMisses.Add(1)
 		return nil
 	}
-	base, err := e.restoreBase(shape, hash, data)
+	base, err := restoreBase(k, shape, hash, data)
 	if err != nil {
+		if errors.Is(err, ErrSnapshotStale) {
+			// Written from a different KB revision — not corruption.
+			// Leave the file: the process on that revision may still be
+			// using it, and an UpdateKB for this revision rewrites it.
+			e.diskStale.Add(1)
+			return nil
+		}
 		e.diskCorrupt.Add(1)
 		e.quarantine(path)
 		return nil
@@ -139,7 +162,7 @@ func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
 // accelerator, not a store of record), but successful writes are counted
 // and reported.
 func (e *Engine) writeDiskBase(base *compiled, fingerprint string) bool {
-	dir, hash, maxFiles, maxBytes := e.diskConfig()
+	dir, hash, _, maxFiles, maxBytes := e.diskConfig()
 	if dir == "" {
 		return false
 	}
@@ -178,7 +201,7 @@ func (e *Engine) writeDiskBase(base *compiled, fingerprint string) bool {
 // are recorded after solves), so flushing is what puts the latest
 // profile on disk. No-op without a cache directory.
 func (e *Engine) FlushDiskCache() int {
-	dir, _, _, _ := e.diskConfig()
+	dir, _, _, _, _ := e.diskConfig()
 	if dir == "" {
 		return 0
 	}
@@ -210,8 +233,12 @@ func (e *Engine) quarantine(path string) {
 	_ = os.Rename(path, path+quarantineExt)
 }
 
-// evictDisk removes the oldest snapshot files until the directory is
-// within both bounds. Caller holds diskMu.
+// evictDisk removes the oldest cache files until the directory is within
+// both bounds. Quarantined ".bad" files count against the same budget and
+// age out through the same mtime order — excluding them (as the scan once
+// did, via filepath.Ext matching only ".bad" on quarantined names) let
+// repeated corruption grow the directory without bound, since quarantine
+// renames a file instead of deleting it. Caller holds diskMu.
 func (e *Engine) evictDisk(dir string, maxFiles int, maxBytes int64) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -225,14 +252,17 @@ func (e *Engine) evictDisk(dir string, maxFiles int, maxBytes int64) {
 	var files []fileInfo
 	var totalBytes int64
 	for _, ent := range entries {
-		if ent.IsDir() || filepath.Ext(ent.Name()) != baseSnapshotExt {
+		name := ent.Name()
+		live := filepath.Ext(name) == baseSnapshotExt
+		quarantined := strings.HasSuffix(name, baseSnapshotExt+quarantineExt)
+		if ent.IsDir() || (!live && !quarantined) {
 			continue
 		}
 		info, err := ent.Info()
 		if err != nil {
 			continue
 		}
-		files = append(files, fileInfo{filepath.Join(dir, ent.Name()), info.Size(), info.ModTime()})
+		files = append(files, fileInfo{filepath.Join(dir, name), info.Size(), info.ModTime()})
 		totalBytes += info.Size()
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })

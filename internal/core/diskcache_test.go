@@ -166,8 +166,9 @@ func reseal(d []byte) []byte {
 
 // TestDiskCacheCorruptionMatrix drives each corruption through the full
 // cache path: the query must still succeed (clean recompile, never an
-// error), the file must be quarantined, and the counters must show one
-// DiskCorrupt + one compile.
+// error), and each error class must follow its policy — structural
+// corruption quarantines the file and counts DiskCorrupt, a stale KB hash
+// leaves the file alone and counts DiskStale.
 func TestDiskCacheCorruptionMatrix(t *testing.T) {
 	sc := Scenario{Require: []kb.Property{"congestion_control"}}
 	for _, tc := range corruptions {
@@ -191,7 +192,7 @@ func TestDiskCacheCorruptionMatrix(t *testing.T) {
 			shape := baseShape(&sc)
 			mutated := tc.mutate(append([]byte(nil), data...))
 			verify := mustDiskEngine(t, miniKB(), dir)
-			if _, rerr := verify.restoreBase(&shape, verify.kbHash, mutated); !errors.Is(rerr, tc.wantErr) {
+			if _, rerr := restoreBase(verify.KB(), &shape, verify.kbHash, mutated); !errors.Is(rerr, tc.wantErr) {
 				t.Fatalf("restoreBase error = %v, want %v", rerr, tc.wantErr)
 			}
 
@@ -207,21 +208,34 @@ func TestDiskCacheCorruptionMatrix(t *testing.T) {
 				t.Fatalf("verdict = %v, want Feasible", rep.Verdict)
 			}
 			st := fresh.CacheStats()
-			if st.DiskCorrupt != 1 || st.Misses != 1 || st.DiskHits != 0 {
-				t.Errorf("counters after corrupt file: %+v (want 1 corrupt, 1 miss/compile, 0 disk hits)", st)
-			}
-			if _, err := os.Stat(path + quarantineExt); err != nil {
-				t.Errorf("corrupt file not quarantined: %v", err)
+			stale := errors.Is(tc.wantErr, ErrSnapshotStale)
+			if stale {
+				// Stale is a policy rejection, not corruption: counted
+				// separately and the file stays put (no ".bad" rename).
+				if st.DiskStale != 1 || st.DiskCorrupt != 0 || st.Misses != 1 || st.DiskHits != 0 {
+					t.Errorf("counters after stale file: %+v (want 1 stale, 0 corrupt, 1 miss/compile)", st)
+				}
+				if _, err := os.Stat(path + quarantineExt); !errors.Is(err, os.ErrNotExist) {
+					t.Errorf("stale file must not be quarantined (stat .bad: %v)", err)
+				}
+			} else {
+				if st.DiskCorrupt != 1 || st.Misses != 1 || st.DiskHits != 0 {
+					t.Errorf("counters after corrupt file: %+v (want 1 corrupt, 1 miss/compile, 0 disk hits)", st)
+				}
+				if _, err := os.Stat(path + quarantineExt); err != nil {
+					t.Errorf("corrupt file not quarantined: %v", err)
+				}
 			}
 			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
 				// The recompile re-persists under the same name; what must
-				// be gone is the corrupt content, which quarantine moved
-				// before the write. Check the live file now restores.
+				// be gone is the rejected content — quarantine moved it (or
+				// the write replaced a stale file in place). Check the live
+				// file now restores.
 				live, rerr := os.ReadFile(path)
 				if rerr != nil {
 					t.Fatalf("reading rewritten cache file: %v", rerr)
 				}
-				if _, rerr := fresh.restoreBase(&shape, fresh.kbHash, live); rerr != nil {
+				if _, rerr := restoreBase(fresh.KB(), &shape, fresh.kbHash, live); rerr != nil {
 					t.Errorf("rewritten cache file does not restore: %v", rerr)
 				}
 			}
@@ -231,7 +245,9 @@ func TestDiskCacheCorruptionMatrix(t *testing.T) {
 
 // TestDiskCacheStaleKBEndToEnd mutates the knowledge base between
 // processes: the snapshot written under the old KB must be rejected as
-// stale by an engine over the new KB (same scenario, same file name).
+// stale by an engine over the new KB (same scenario, same file name),
+// left un-quarantined, and then replaced in place by the recompile's
+// write.
 func TestDiskCacheStaleKBEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	sc := Scenario{Require: []kb.Property{"congestion_control"}}
@@ -247,8 +263,20 @@ func TestDiskCacheStaleKBEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := fresh.CacheStats()
-	if st.DiskCorrupt != 1 || st.Misses != 1 {
-		t.Errorf("stale-KB snapshot should quarantine + recompile: %+v", st)
+	if st.DiskStale != 1 || st.DiskCorrupt != 0 || st.Misses != 1 {
+		t.Errorf("stale-KB snapshot should count stale + recompile without quarantine: %+v", st)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected the stale snapshot to be rewritten in place, got %v", files)
+	}
+	shape := baseShape(&sc)
+	live, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restoreBase(fresh.KB(), &shape, fresh.kbHash, live); err != nil {
+		t.Errorf("rewritten snapshot does not restore under the new KB: %v", err)
 	}
 }
 
@@ -277,7 +305,7 @@ func TestDiskCacheFingerprintMismatch(t *testing.T) {
 	if err := os.WriteFile(pathB, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, rerr := prime.restoreBase(&shapeB, prime.kbHash, data); !errors.Is(rerr, ErrSnapshotMismatch) {
+	if _, rerr := restoreBase(prime.KB(), &shapeB, prime.kbHash, data); !errors.Is(rerr, ErrSnapshotMismatch) {
 		t.Fatalf("restoreBase error = %v, want ErrSnapshotMismatch", rerr)
 	}
 
@@ -322,7 +350,7 @@ func TestDiskCacheDisabledByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := e.CacheStats()
-	if st.DiskHits+st.DiskMisses+st.DiskWrites+st.DiskEvictions+st.DiskCorrupt != 0 {
+	if st.DiskHits+st.DiskMisses+st.DiskWrites+st.DiskEvictions+st.DiskCorrupt+st.DiskStale != 0 {
 		t.Errorf("disk counters moved without a cache dir: %+v", st)
 	}
 }
@@ -368,7 +396,7 @@ func FuzzDecodeBase(f *testing.F) {
 		if len(data) > 1<<20 {
 			return
 		}
-		c, err := e.restoreBase(&shape, hash, data)
+		c, err := restoreBase(k, &shape, hash, data)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrSnapshotCorrupt),

@@ -18,7 +18,20 @@ import (
 // goroutines never share mutable solver state. Use CacheStats,
 // SetCacheCapacity and InvalidateCache to observe and control the cache.
 type Engine struct {
-	kb    *kb.KB
+	// kbCur is the engine's current knowledge base, guarded by mu —
+	// UpdateKB swaps it live. Read it once per operation through
+	// kbSnapshot() and use the captured pointer throughout; the KBs
+	// themselves are immutable from the engine's point of view.
+	kbCur *kb.KB
+	// kbGen counts KB swaps (UpdateKB) and in-place invalidations
+	// (InvalidateCache), guarded by mu. baseFor records the generation it
+	// compiled against and discards the result instead of caching it when
+	// the generation moved — a compile raced an update and would poison
+	// the fresh cache with a previous-KB base.
+	kbGen uint64
+	// updateMu serializes UpdateKB calls (queries never take it).
+	updateMu sync.Mutex
+
 	fault func(sat.FaultEvent, sat.Stats) bool
 
 	// Compiled-base cache: scenario-shape fingerprint → frozen instance.
@@ -47,6 +60,7 @@ type Engine struct {
 	diskWrites    atomic.Int64
 	diskEvictions atomic.Int64
 	diskCorrupt   atomic.Int64
+	diskStale     atomic.Int64
 
 	// workers is the enumeration worker-pool size; 0 means the default,
 	// runtime.GOMAXPROCS(0) at query time. See SetWorkers.
@@ -76,14 +90,26 @@ func New(k *kb.KB) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		kb:       k,
+		kbCur:    k,
 		bases:    make(map[string]*compiled),
 		cacheCap: DefaultCacheCapacity,
 	}, nil
 }
 
-// KB returns the engine's knowledge base.
-func (e *Engine) KB() *kb.KB { return e.kb }
+// KB returns the engine's current knowledge base. UpdateKB swaps the
+// pointer live, so callers spanning multiple KB reads should capture the
+// result once rather than calling KB() repeatedly.
+func (e *Engine) KB() *kb.KB { return e.kbSnapshot() }
+
+// kbSnapshot captures the current KB pointer under the read lock. Every
+// engine operation that reads the KB takes one snapshot up front and uses
+// it throughout, so a concurrent UpdateKB can never hand one operation
+// two different KB revisions.
+func (e *Engine) kbSnapshot() *kb.KB {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.kbCur
+}
 
 // SetFaultHook installs a fault-injection callback on every solver the
 // engine compiles from now on (see sat.Options.FaultHook): it fires at
@@ -129,20 +155,21 @@ func (e *Engine) Check(design Design, sc Scenario) (*Report, error) {
 func (e *Engine) CheckCtx(ctx context.Context, design Design, sc Scenario, b Budget) (*Report, error) {
 	// Pin the design by construction: every system var gets a
 	// pin/forbid selector so explanations reference the design choices.
+	k := e.kbSnapshot()
 	sc2 := sc
 	sc2.PinnedSystems = append([]string(nil), sc.PinnedSystems...)
 	sc2.ForbiddenSystems = append([]string(nil), sc.ForbiddenSystems...)
 	deployed := map[string]bool{}
 	for _, s := range design.Systems {
-		if e.kb.SystemByName(s) == nil {
+		if k.SystemByName(s) == nil {
 			return nil, fmt.Errorf("core: design deploys unknown system %q", s)
 		}
 		deployed[s] = true
 		sc2.PinnedSystems = append(sc2.PinnedSystems, s)
 	}
-	for i := range e.kb.Systems {
-		if !deployed[e.kb.Systems[i].Name] {
-			sc2.ForbiddenSystems = append(sc2.ForbiddenSystems, e.kb.Systems[i].Name)
+	for i := range k.Systems {
+		if !deployed[k.Systems[i].Name] {
+			sc2.ForbiddenSystems = append(sc2.ForbiddenSystems, k.Systems[i].Name)
 		}
 	}
 	if len(design.Hardware) > 0 {
@@ -151,7 +178,7 @@ func (e *Engine) CheckCtx(ctx context.Context, design Design, sc Scenario, b Bud
 			sc2.PinnedHardware[kind] = name
 		}
 		for kind, name := range design.Hardware {
-			if h := e.kb.HardwareByName(name); h == nil || h.Kind != kind {
+			if h := k.HardwareByName(name); h == nil || h.Kind != kind {
 				return nil, fmt.Errorf("core: design selects unknown %s %q", kind, name)
 			}
 			sc2.PinnedHardware[kind] = name

@@ -258,11 +258,14 @@ func (r *envReader) intlinInt(what string, nVars int) (intlin.Int, error) {
 }
 
 // restoreBase decodes a base snapshot for the given shape scenario,
-// validating it against the engine's KB hash and the shape's fingerprint.
-// On success the returned compiled is indistinguishable from a fresh
-// compileBase(shape) — same vocabulary, same selector list, and a solver
-// that searches byte-identically.
-func (e *Engine) restoreBase(shape *Scenario, kbHash [32]byte, data []byte) (*compiled, error) {
+// validating it against the given KB revision's content hash and the
+// shape's fingerprint. On success the returned compiled is
+// indistinguishable from a fresh compile of the shape against k — same
+// vocabulary, same selector list, and a solver that searches
+// byte-identically. k and kbHash must be captured together (diskConfig
+// does) so the derived state recomputed below comes from the exact KB
+// the hash vouches for.
+func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*compiled, error) {
 	// Integrity first: CRC over everything before the trailing checksum.
 	// Random corruption dies here, cheaply, before any structural work.
 	if len(data) < len(baseSnapshotMagic)+4+32+4 {
@@ -451,7 +454,7 @@ func (e *Engine) restoreBase(shape *Scenario, kbHash [32]byte, data []byte) (*co
 	// everything else recomputed from the KB and the shape exactly as
 	// compileBase derives it.
 	c := &compiled{
-		kb:         e.kb,
+		kb:         k,
 		sc:         shape,
 		vocab:      logic.RestoreVocabulary(names),
 		solver:     solver,
@@ -486,8 +489,8 @@ func (e *Engine) restoreBase(shape *Scenario, kbHash [32]byte, data []byte) (*co
 	// System/hardware literals resolve through the restored vocabulary;
 	// a fresh compile allocated them before any Tseitin variable, so they
 	// must all be present — absence means vocabulary drift.
-	for i := range e.kb.Systems {
-		name := e.kb.Systems[i].Name
+	for i := range k.Systems {
+		name := k.Systems[i].Name
 		v := c.vocab.Lookup("system:" + name)
 		if v == 0 {
 			return nil, fmt.Errorf("%w: system %q missing from vocabulary", ErrSnapshotCorrupt, name)
@@ -510,8 +513,8 @@ func (e *Engine) restoreBase(shape *Scenario, kbHash [32]byte, data []byte) (*co
 	}
 	sort.Strings(c.sysNames)
 	c.provides = make(map[kb.Property]bool)
-	for i := range e.kb.Systems {
-		for _, p := range e.kb.Systems[i].Solves {
+	for i := range k.Systems {
+		for _, p := range k.Systems[i].Solves {
 			c.provides[p] = true
 		}
 	}

@@ -265,6 +265,7 @@ func (e *Engine) Disambiguate(sc Scenario, limit int) (*Disambiguation, error) {
 // it must be Incomplete too: only an exhaustive enumeration yields a
 // report that covers every fork.
 func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b Budget) (*Disambiguation, error) {
+	k := e.kbSnapshot()
 	res, err := e.EnumerateCtx(ctx, sc, limit, b)
 	if err != nil {
 		return nil, err
@@ -287,7 +288,7 @@ func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b 
 		if n == len(designs) {
 			continue // in every design: settled
 		}
-		sys := e.kb.SystemByName(name)
+		sys := k.SystemByName(name)
 		byRole[sys.Role] = append(byRole[sys.Role], name)
 	}
 	roles := make([]kb.Role, 0, len(byRole))
@@ -303,7 +304,7 @@ func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b 
 		sort.Strings(alts)
 		fork := Fork{Role: role, Alternatives: alts}
 		// Which dimensions rank at least two alternatives?
-		for _, spec := range e.kb.Orders {
+		for _, spec := range k.Orders {
 			resolved, err := spec.Resolve(sc.Context)
 			if err != nil {
 				continue // contradictory guards under this context: skip
@@ -325,7 +326,7 @@ func (e *Engine) DisambiguateCtx(ctx context.Context, sc Scenario, limit int, b 
 		for i := 0; i < len(alts); i++ {
 		pair:
 			for j := i + 1; j < len(alts); j++ {
-				for _, spec := range e.kb.Orders {
+				for _, spec := range k.Orders {
 					resolved, err := spec.Resolve(sc.Context)
 					if err != nil {
 						continue

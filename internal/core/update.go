@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netarch/internal/kb"
+)
+
+// Live knowledge-base updates. Production catalogs churn — one new SKU,
+// one edited rule — and before UpdateKB any mutation meant dropping every
+// compiled base, invalidating every disk snapshot, and paying cold-start
+// compiles on the next queries. UpdateKB instead revalidates the cache in
+// place: each cached base is delta-recompiled against the incoming KB,
+// reusing the per-assertion CNF shards the edit did not touch (see
+// logic.ConvertShardsDelta — the result is byte-identical to a cold
+// compile of the new KB), warm-start profiles are carried over, and the
+// base's disk snapshot is rewritten under the new KB hash so the disk
+// tier stays warm too. In-flight queries are never disturbed: they solve
+// on private clones of the old bases, which stay frozen and valid until
+// the last query referencing them finishes.
+
+// KBUpdate reports what one UpdateKB call did.
+type KBUpdate struct {
+	// Diff is the section-level difference between the outgoing and
+	// incoming KBs (see kb.Diff).
+	Diff []kb.DiffEntry
+	// BasesUpdated counts cached bases delta-recompiled against the new
+	// KB; BasesDropped counts bases whose shape no longer compiles under
+	// it (e.g. their workload was removed) and were evicted instead.
+	BasesUpdated int
+	BasesDropped int
+	// ShardsReused and ShardsConverted total, across all updated bases,
+	// how many per-assertion CNF shards were spliced from the previous
+	// compile vs reconverted. A one-assertion edit shows almost all reuse.
+	ShardsReused    int
+	ShardsConverted int
+	// ProfilesCarried counts warm-start profiles transplanted onto
+	// updated bases (truncated to the new variable space when it shrank).
+	ProfilesCarried int
+	// SnapshotsRewritten counts disk snapshots rewritten under the new KB
+	// hash (zero without a cache directory).
+	SnapshotsRewritten int
+}
+
+// String renders the update summary.
+func (u *KBUpdate) String() string {
+	return fmt.Sprintf("%d KB changes; %d bases updated (%d dropped), %d shards reused / %d converted, %d profiles carried, %d snapshots rewritten",
+		len(u.Diff), u.BasesUpdated, u.BasesDropped, u.ShardsReused, u.ShardsConverted, u.ProfilesCarried, u.SnapshotsRewritten)
+}
+
+// UpdateKB swaps the engine's knowledge base for newKB, delta-recompiling
+// every cached base in place of dropping it. Safe to call concurrently
+// with queries: in-flight queries finish on clones of the outgoing bases,
+// queries admitted after the swap see only the new ones, and a compile
+// racing the update is detected by the KB generation counter and never
+// cached (see baseFor). Concurrent UpdateKB calls serialize.
+//
+// The incoming KB is validated first; on error the engine is unchanged.
+// newKB must not be mutated after the call (the engine holds it by
+// reference — to edit further, Save/Load a copy or build a new KB).
+//
+// Every updated base is byte-identical to what a cold compile against
+// newKB would produce, so answers never depend on the update history.
+// Bases revived from disk snapshots carry no shard set and recompile
+// fully; they still count as updated.
+func (e *Engine) UpdateKB(newKB *kb.KB) (*KBUpdate, error) {
+	if newKB == nil {
+		return nil, errors.New("core: UpdateKB: nil knowledge base")
+	}
+	if err := newKB.Validate(); err != nil {
+		return nil, err
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+
+	old := e.kbSnapshot()
+	up := &KBUpdate{Diff: kb.Diff(old, newKB)}
+	if len(up.Diff) == 0 {
+		// Content-identical KB: adopt the new pointer (callers may hold
+		// it) but keep every base, snapshot, and the generation — bases
+		// compiled against the old pointer answer identically.
+		e.mu.Lock()
+		e.kbCur = newKB
+		e.mu.Unlock()
+		return up, nil
+	}
+
+	// Snapshot the cached bases in insertion order under the read lock.
+	e.mu.RLock()
+	keys := append([]string(nil), e.baseOrder...)
+	outgoing := make(map[string]*compiled, len(keys))
+	for _, key := range keys {
+		outgoing[key] = e.bases[key]
+	}
+	e.mu.RUnlock()
+
+	// Delta-recompile each base outside the lock: outgoing bases are
+	// frozen and read-only, so queries keep cloning them while we build
+	// their successors.
+	type rebuilt struct {
+		key  string
+		base *compiled
+	}
+	fresh := make([]rebuilt, 0, len(keys))
+	for _, key := range keys {
+		ob := outgoing[key]
+		nb, err := e.compileBaseWith(newKB, ob.sc, ob.shards)
+		if err != nil {
+			// The shape no longer compiles under the new KB (its
+			// workload or pinned hardware was removed): evict it rather
+			// than failing the whole update. Its old disk snapshot is
+			// now stale and will be skipped — not quarantined — until
+			// eviction ages it out.
+			up.BasesDropped++
+			continue
+		}
+		if set := nb.shards; set != nil {
+			up.ShardsReused += set.Reused
+			up.ShardsConverted += set.Converted
+		}
+		if p := ob.warm.p.Load(); p != nil {
+			// Carry the scenario family's search prior across the update.
+			// Clone before truncating — the old profile is still shared
+			// with clones of the outgoing base. Variable indices survive
+			// small edits (atoms allocate before Tseitin variables in a
+			// fixed order), and a profile is advisory: at worst a stale
+			// prior biases the first search, never an answer.
+			q := p.Clone()
+			q.Truncate(nb.solver.NumVars())
+			nb.warm.p.Store(q)
+			up.ProfilesCarried++
+		}
+		fresh = append(fresh, rebuilt{key, nb})
+		up.BasesUpdated++
+	}
+
+	dir, _, _, _, _ := e.diskConfig()
+	var hash [32]byte
+	if dir != "" {
+		hash = kbContentHash(newKB)
+	}
+
+	// The swap: new KB, new generation, rebuilt cache. Queries admitted
+	// from here on see only new-KB state.
+	e.mu.Lock()
+	e.kbCur = newKB
+	e.kbGen++
+	e.kbHash = hash
+	e.bases = make(map[string]*compiled, len(fresh))
+	e.baseOrder = e.baseOrder[:0]
+	for _, rb := range fresh {
+		e.bases[rb.key] = rb.base
+		e.baseOrder = append(e.baseOrder, rb.key)
+	}
+	e.mu.Unlock()
+
+	// Rewrite the disk tier and refill clone pools off the lock. The
+	// rewrite reuses each shape's snapshot path, so the files that just
+	// went stale are replaced in place — the disk tier is warm for the
+	// new KB the moment this returns.
+	poolN := int(e.poolSize.Load())
+	for _, rb := range fresh {
+		if e.writeDiskBase(rb.base, rb.key) {
+			up.SnapshotsRewritten++
+		}
+		if poolN > 0 {
+			rb.base.pool.refill(rb.base.solver, poolN)
+		}
+	}
+	return up, nil
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netarch/internal/kb"
+	"netarch/internal/sat"
+)
+
+// kbMutation names one delta kind against miniKB's rule list; each
+// returns a fresh KB so the outgoing one is never mutated in place.
+var kbMutations = []struct {
+	name   string
+	mutate func(k *kb.KB)
+}{
+	{"add", func(k *kb.KB) {
+		k.Rules = append(k.Rules, kb.Rule{
+			Name: "wan_no_pfc",
+			Expr: kb.Implies(kb.CtxAtom("wan_dc_mix"), kb.Not(kb.CtxAtom("pfc_enabled"))),
+			Note: "PFC does not cross the WAN",
+		})
+	}},
+	{"remove", func(k *kb.KB) {
+		k.Rules = k.Rules[:0]
+	}},
+	{"edit", func(k *kb.KB) {
+		k.Rules[0].Expr = kb.Implies(kb.CtxAtom("pfc_enabled"),
+			kb.And(kb.Not(kb.CtxAtom("flooding_enabled")), kb.CtxAtom("lossless_fabric")))
+	}},
+}
+
+// TestUpdateKBByteIdentity is the tentpole contract: after UpdateKB, every
+// cached base must be byte-identical (snapshot encoding, which covers the
+// full solver state) to what a cold engine over the new KB compiles — for
+// add, remove, and edit deltas, at 1, 2, and 8 workers. Warm start stays
+// off: profiles are solve-history, deliberately outside the identity.
+func TestUpdateKBByteIdentity(t *testing.T) {
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	shape := baseShape(&sc)
+	key := shape.fingerprint()
+	for _, mut := range kbMutations {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", mut.name, workers), func(t *testing.T) {
+				next := miniKB()
+				mut.mutate(next)
+
+				e := mustEngine(t, miniKB())
+				e.SetWorkers(workers)
+				if _, err := e.Synthesize(sc); err != nil {
+					t.Fatal(err)
+				}
+				up, err := e.UpdateKB(next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(up.Diff) == 0 || up.BasesUpdated != 1 {
+					t.Fatalf("update did not revalidate the cached base: %+v", up)
+				}
+				e.mu.RLock()
+				updated := e.bases[key]
+				e.mu.RUnlock()
+				if updated == nil {
+					t.Fatal("cached base vanished across UpdateKB")
+				}
+
+				cold := mustEngine(t, next)
+				cold.SetWorkers(workers)
+				want, err := cold.compileBase(&shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hash [32]byte
+				if !bytes.Equal(snapshotBase(updated, hash), snapshotBase(want, hash)) {
+					t.Errorf("%s delta at %d workers: delta-updated base diverges from cold compile", mut.name, workers)
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateKBStats pins the shard-reuse accounting: a one-rule edit on a
+// cached base must reconvert only the edited assertion's shard and report
+// the rest reused, and queries after the update must answer against the
+// new KB.
+func TestUpdateKBStats(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	next := miniKB()
+	next.Rules[0].Expr = kb.Implies(kb.CtxAtom("pfc_enabled"), kb.FalseExpr())
+
+	up, err := e.UpdateKB(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.BasesUpdated != 1 || up.BasesDropped != 0 {
+		t.Fatalf("bases: %+v", up)
+	}
+	if up.ShardsConverted == 0 || up.ShardsReused == 0 {
+		t.Fatalf("one-rule edit must reuse most shards and convert the edited one: %+v", up)
+	}
+	if up.ShardsConverted >= up.ShardsReused {
+		t.Errorf("expected reuse to dominate on a one-rule edit: %d reused / %d converted",
+			up.ShardsReused, up.ShardsConverted)
+	}
+	if e.KB() != next {
+		t.Error("KB() does not return the updated knowledge base")
+	}
+
+	// The rewritten rule makes pfc_enabled untenable: a query pinning it
+	// must now be infeasible, proving post-update queries see the new KB.
+	rep, err := e.Synthesize(Scenario{Context: map[string]bool{"pfc_enabled": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Infeasible {
+		t.Errorf("query after update answered against the old KB: verdict %v", rep.Verdict)
+	}
+}
+
+// TestUpdateKBNoChange: a content-identical KB is a pointer swap — bases,
+// snapshots, and counters all survive.
+func TestUpdateKBNoChange(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	if _, err := e.Synthesize(Scenario{}); err != nil {
+		t.Fatal(err)
+	}
+	same := miniKB()
+	up, err := e.UpdateKB(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Diff) != 0 || up.BasesUpdated != 0 {
+		t.Fatalf("identical KB produced a non-trivial update: %+v", up)
+	}
+	if st := e.CacheStats(); st.Size != 1 {
+		t.Errorf("no-op update dropped cached bases: %+v", st)
+	}
+	if e.KB() != same {
+		t.Error("no-op update must still adopt the caller's pointer")
+	}
+}
+
+// TestUpdateKBRejectsInvalid: nil and non-validating KBs leave the engine
+// untouched.
+func TestUpdateKBRejectsInvalid(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	old := e.KB()
+	if _, err := e.UpdateKB(nil); err == nil {
+		t.Error("nil KB accepted")
+	}
+	bad := miniKB()
+	bad.Systems = append(bad.Systems, bad.Systems[0]) // duplicate name
+	if _, err := e.UpdateKB(bad); err == nil {
+		t.Error("invalid KB accepted")
+	}
+	if e.KB() != old {
+		t.Error("failed update swapped the KB anyway")
+	}
+}
+
+// TestUpdateKBDropsUncompilableBases: a base whose workload the new KB no
+// longer defines cannot be revalidated; it must be evicted (counted as
+// dropped), while other bases update, and the whole call still succeeds.
+func TestUpdateKBDropsUncompilableBases(t *testing.T) {
+	k := miniKB()
+	k.Workloads = append(k.Workloads, kb.Workload{Name: "cache_tier", Properties: []string{"dc_flows"}})
+	e := mustEngine(t, k)
+	if _, err := e.Synthesize(Scenario{Workloads: []string{"cache_tier"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Synthesize(Scenario{}); err != nil {
+		t.Fatal(err)
+	}
+
+	next := miniKB() // cache_tier gone
+	next.Rules[0].Note = "changed"
+	up, err := e.UpdateKB(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.BasesDropped != 1 || up.BasesUpdated != 1 {
+		t.Fatalf("want 1 dropped + 1 updated: %+v", up)
+	}
+	if st := e.CacheStats(); st.Size != 1 {
+		t.Errorf("dropped base still cached: %+v", st)
+	}
+	if _, err := e.Synthesize(Scenario{Workloads: []string{"cache_tier"}}); err == nil {
+		t.Error("query over the removed workload must fail after the update")
+	}
+}
+
+// TestUpdateKBCarriesWarmProfile: a warm-start profile recorded before the
+// update must survive it — cloned (not shared with the outgoing base) and
+// truncated to the new variable space.
+func TestUpdateKBCarriesWarmProfile(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	e.SetWarmStart(true)
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	shape := baseShape(&sc)
+	key := shape.fingerprint()
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.RLock()
+	old := e.bases[key]
+	e.mu.RUnlock()
+	before := old.warm.p.Load()
+	if before == nil {
+		t.Fatal("warm-start solve recorded no profile")
+	}
+
+	next := miniKB()
+	next.Rules = next.Rules[:0]
+	up, err := e.UpdateKB(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ProfilesCarried != 1 {
+		t.Fatalf("ProfilesCarried = %d, want 1", up.ProfilesCarried)
+	}
+	e.mu.RLock()
+	nb := e.bases[key]
+	e.mu.RUnlock()
+	after := nb.warm.p.Load()
+	if after == nil {
+		t.Fatal("profile lost across UpdateKB")
+	}
+	if after == before {
+		t.Error("profile must be cloned, not shared with the outgoing base")
+	}
+	if n := nb.solver.NumVars(); len(after.Phases) > n || len(after.Activity) > n {
+		t.Errorf("carried profile wider than the new base: %d phases for %d vars", len(after.Phases), n)
+	}
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatalf("warm-start query on the carried profile: %v", err)
+	}
+}
+
+// TestUpdateKBRewritesSnapshots: with a disk tier configured, UpdateKB
+// must rewrite each updated base's snapshot in place under the new KB
+// hash, so a cold process over the new KB gets disk hits, not stale skips.
+func TestUpdateKBRewritesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	e := mustDiskEngine(t, miniKB(), dir)
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	next := miniKB()
+	next.Rules[0].Note = "rev2"
+	up, err := e.UpdateKB(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.SnapshotsRewritten != 1 {
+		t.Fatalf("SnapshotsRewritten = %d, want 1", up.SnapshotsRewritten)
+	}
+	// Save/Load round-trips next's content; a cold engine over it must
+	// revive the rewritten snapshot from disk without compiling.
+	cold := mustDiskEngine(t, next, dir)
+	if _, err := cold.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.DiskHits != 1 || st.Misses != 0 || st.DiskStale != 0 {
+		t.Errorf("rewritten snapshot not served to the new-KB process: %+v", st)
+	}
+}
+
+// TestUpdateKBConcurrentQueries hammers queries across an update: no
+// query may error or observe a torn state, and queries after the update
+// must answer against the new KB. Run under -race this also proves the
+// locking discipline.
+func TestUpdateKBConcurrentQueries(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	const queriers = 4
+	stop := make(chan struct{})
+	errs := make(chan error, queriers)
+	var wg sync.WaitGroup
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rep, err := e.Synthesize(sc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.Verdict != Feasible {
+					errs <- fmt.Errorf("verdict %v mid-update", rep.Verdict)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		next := miniKB()
+		next.Rules[0].Note = fmt.Sprintf("rev%d", i)
+		if _, err := e.UpdateKB(next); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestCacheEvictionReleasesEvictedKeys is the regression test for the
+// FIFO eviction leak: the old `baseOrder = baseOrder[1:]` reslice kept
+// every evicted key (and through the map, at one point, its base) alive
+// in the backing array. Eviction must clear the vacated slot and let the
+// evicted base be collected.
+func TestCacheEvictionReleasesEvictedKeys(t *testing.T) {
+	e := mustEngine(t, miniKB())
+	e.SetCacheCapacity(2)
+	for _, n := range []int{0, 8, 16, 24} {
+		if _, err := e.Synthesize(Scenario{NumServers: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.RLock()
+	order := e.baseOrder
+	if len(order) != 2 {
+		e.mu.RUnlock()
+		t.Fatalf("len(baseOrder) = %d, want 2", len(order))
+	}
+	// The vacated tail of the backing array must hold no evicted keys.
+	tail := order[len(order):cap(order)]
+	for i, s := range tail {
+		if s != "" {
+			t.Errorf("backing array slot %d still pins evicted key %q", i, s)
+		}
+	}
+	e.mu.RUnlock()
+
+	// And an evicted base must be collectable: compile one more shape,
+	// plant a finalizer on the base eviction will push out, evict it,
+	// and GC until the finalizer runs.
+	shape := baseShape(&Scenario{NumServers: 16})
+	e.mu.RLock()
+	victim := e.bases[shape.fingerprint()]
+	e.mu.RUnlock()
+	if victim == nil {
+		t.Fatal("expected NumServers=16 base to still be cached")
+	}
+	collected := make(chan struct{})
+	runtime.SetFinalizer(victim, func(*compiled) { close(collected) })
+	victim = nil
+	for _, n := range []int{32, 40} {
+		if _, err := e.Synthesize(Scenario{NumServers: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+		}
+	}
+	t.Error("evicted base never became collectable; eviction still pins it")
+}
+
+// TestDiskCacheQuarantineBudget is the regression test for the quarantine
+// eviction leak: ".bad" files must count against the disk byte budget and
+// age out through the same mtime-ordered eviction as live snapshots.
+func TestDiskCacheQuarantineBudget(t *testing.T) {
+	dir := t.TempDir()
+	e := mustDiskEngine(t, miniKB(), dir)
+	if _, err := e.Synthesize(Scenario{}); err != nil {
+		t.Fatal(err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected one cache file, got %v", files)
+	}
+	liveSize, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant quarantined files that alone exceed the byte budget; they are
+	// older than any live file, so eviction must take them first.
+	junk := bytes.Repeat([]byte{0xde}, int(liveSize.Size()))
+	stale := liveSize.ModTime().Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("%s/%04d%s%s", dir, i, baseSnapshotExt, quarantineExt)
+		if err := os.WriteFile(name, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(name, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.SetDiskCacheLimit(100, 2*liveSize.Size())
+
+	// The next write triggers eviction; the quarantined bulk must go.
+	if _, err := e.Synthesize(Scenario{NumServers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarantined, live int
+	for _, ent := range entries {
+		switch {
+		case strings.HasSuffix(ent.Name(), baseSnapshotExt+quarantineExt):
+			quarantined++
+		case strings.HasSuffix(ent.Name(), baseSnapshotExt):
+			live++
+		}
+	}
+	if live != 2 {
+		t.Errorf("live snapshots = %d, want 2 (both shapes)", live)
+	}
+	if quarantined > 0 {
+		t.Errorf("%d quarantined files survived a byte budget they exceed alone", quarantined)
+	}
+	if st := e.CacheStats(); st.DiskEvictions == 0 {
+		t.Errorf("evictions not counted: %+v", st)
+	}
+}
+
+// TestKBMutationStalenessOrdering pins the documented in-place-mutation
+// protocol: disable the disk tier, mutate the KB in place, InvalidateCache,
+// re-enable the disk tier. Snapshots written before the mutation must be
+// rejected as stale (not quarantined, not silently reused), and a query
+// mid-flight on a clone of the old base must still complete.
+func TestKBMutationStalenessOrdering(t *testing.T) {
+	dir := t.TempDir()
+	k := miniKB()
+	e := mustDiskEngine(t, k, dir)
+	sc := Scenario{Require: []kb.Property{"congestion_control"}}
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(cacheFiles(t, dir)) != 1 {
+		t.Fatal("expected one snapshot on disk")
+	}
+
+	// A query mid-flight: clone the old base before the mutation, solve it
+	// after. Old bases are frozen, so the clone answers the old KB's
+	// question regardless of what the engine does meanwhile.
+	base, shared, err := e.baseFor(&sc)
+	if err != nil || !shared {
+		t.Fatalf("baseFor: %v (shared=%v)", err, shared)
+	}
+	oldClone := base.solver.Clone()
+
+	// The documented protocol for in-place mutation.
+	if err := e.SetCacheDir(""); err != nil {
+		t.Fatal(err)
+	}
+	k.Hardware[0].CostUSD += 500 // in-place content change
+	e.InvalidateCache()
+	if err := e.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-mutation snapshot must be skipped as stale and replaced by
+	// the recompile's write — never quarantined, never silently reused.
+	if _, err := e.Synthesize(sc); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	if st.DiskStale != 1 || st.DiskCorrupt != 0 {
+		t.Errorf("pre-mutation snapshot: %+v (want 1 stale, 0 corrupt)", st)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), quarantineExt) {
+			t.Errorf("stale snapshot was quarantined: %s", ent.Name())
+		}
+	}
+
+	// The mid-flight clone still solves.
+	if status := oldClone.Solve(); status != sat.Sat {
+		t.Errorf("mid-flight clone of the old base: status %v, want Sat", status)
+	}
+}

@@ -23,7 +23,7 @@ func TestSnapshotWarmProfileRoundTrip(t *testing.T) {
 	}
 
 	// Bare base: no warm section payload, decodes to a nil profile.
-	bare, err := e.restoreBase(&shape, hash, snapshotBase(base, hash))
+	bare, err := restoreBase(k, &shape, hash, snapshotBase(base, hash))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestSnapshotWarmProfileRoundTrip(t *testing.T) {
 	}
 	base.warm.p.Store(prof)
 
-	restored, err := e.restoreBase(&shape, hash, snapshotBase(base, hash))
+	restored, err := restoreBase(k, &shape, hash, snapshotBase(base, hash))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestSnapshotWarmProfileRoundTrip(t *testing.T) {
 		Phases:   make([]bool, n+5),
 		Activity: make([]uint16, n+5),
 	})
-	if _, err := e.restoreBase(&shape, hash, snapshotBase(base, hash)); err == nil {
+	if _, err := restoreBase(k, &shape, hash, snapshotBase(base, hash)); err == nil {
 		t.Fatal("oversized warm profile decoded without error")
 	}
 }

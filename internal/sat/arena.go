@@ -68,6 +68,20 @@ func (a *arena) alloc(lits []lit, learnt bool) cref {
 	return c
 }
 
+// reserve grows the slab's capacity to hold at least extra more words
+// without reallocating. Capacity-only: the slab's contents, length, and
+// every cref are unchanged, so snapshots and clones are byte-identical
+// with or without the call.
+func (a *arena) reserve(extra int) {
+	need := len(a.data) + extra
+	if need <= cap(a.data) {
+		return
+	}
+	grown := make([]lit, len(a.data), need)
+	copy(grown, a.data)
+	a.data = grown
+}
+
 func (a *arena) size(c cref) int     { return int(a.data[c] >> 2) }
 func (a *arena) learnt(c cref) bool  { return a.data[c]&clsLearnt != 0 }
 func (a *arena) deleted(c cref) bool { return a.data[c]&clsDeleted != 0 }

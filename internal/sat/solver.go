@@ -418,6 +418,19 @@ func (s *Solver) growVarCaps(n int) {
 	s.order.grow(n)
 }
 
+// ReserveClauses pre-sizes the clause arena for a bulk load of nClauses
+// clauses totalling nLits literals, so a compiler splicing a known CNF
+// (the delta-merge path hands the exact clause and literal counts over)
+// appends into one allocation instead of doubling the slab repeatedly.
+// Capacity-only: solver state, clause references, clones, and snapshot
+// bytes are identical with or without the call.
+func (s *Solver) ReserveClauses(nClauses, nLits int) {
+	if nClauses <= 0 && nLits <= 0 {
+		return
+	}
+	s.ca.reserve(nClauses*clsHeaderWords + nLits)
+}
+
 // ErrVarRange is returned by AddClause when a literal references variable 0
 // or a variable that was never allocated.
 var ErrVarRange = errors.New("sat: literal references unallocated variable")

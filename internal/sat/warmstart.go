@@ -40,6 +40,19 @@ func (s *Solver) ExtractProfile() *WarmProfile {
 	return p
 }
 
+// Clone returns a deep copy of the profile, so a caller can Truncate or
+// otherwise adapt it without mutating a profile shared with live solvers
+// (warm slots hand the same *WarmProfile to every clone of a base).
+func (p *WarmProfile) Clone() *WarmProfile {
+	if p == nil {
+		return nil
+	}
+	return &WarmProfile{
+		Phases:   append([]bool(nil), p.Phases...),
+		Activity: append([]uint16(nil), p.Activity...),
+	}
+}
+
 // Truncate trims the profile to its first n variables. Used when a
 // profile extracted from a specialized query clone (which layers
 // selector variables on top) is stored against the shared base.

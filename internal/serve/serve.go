@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"netarch/internal/core"
+	"netarch/internal/kb"
 )
 
 // Config configures a Server. Engine is required; everything else has a
@@ -47,6 +49,12 @@ type Config struct {
 	// requests get this long to finish before connections are forced
 	// closed. Default 10s.
 	DrainTimeout time.Duration
+
+	// RetryAfter is the backoff hint sent with 429/503 rejections.
+	// Sub-second values are preserved exactly in the JSON body's
+	// RetryAfterMS; the Retry-After header (whole seconds by RFC 9110)
+	// rounds up, never down to 0. Default 1s.
+	RetryAfter time.Duration
 
 	// Prewarm lists scenario shapes to compile (or revive from the disk
 	// tier) before the server reports ready. Default: the zero scenario
@@ -91,11 +99,14 @@ type Server struct {
 	draining atomic.Bool
 	drainCh  chan struct{}
 
+	// reloadMu serializes /v1/admin/reload; reloads/reloadErrors count
+	// attempts for /statsz.
+	reloadMu     sync.Mutex
+	reloads      atomic.Int64
+	reloadErrors atomic.Int64
+
 	start time.Time
 }
-
-// retryAfter is the hint sent with 429/503 rejections.
-const retryAfter = time.Second
 
 // New validates the config and builds a server (not yet listening).
 func New(cfg Config) (*Server, error) {
@@ -116,6 +127,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
 	}
 	if len(cfg.Prewarm) == 0 {
 		cfg.Prewarm = []core.Scenario{{}}
@@ -151,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 	for _, mode := range []string{"check", "synth", "whatif", "enumerate", "explain"} {
 		s.mux.HandleFunc("POST /v1/"+mode, s.queryHandler(mode))
 	}
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -466,11 +481,21 @@ func (s *Server) execute(ctx context.Context, mode string, req *QueryRequest, bu
 	return resp, nil, 0
 }
 
-// reject sheds one request with a Retry-After hint and a typed body.
+// reject sheds one request with a Retry-After hint and a typed body. The
+// header speaks whole seconds (RFC 9110), so the configured hint rounds
+// UP and clamps to >= 1 — the old `hint / time.Second` truncation turned
+// any sub-second hint into `Retry-After: 0`, which compliant clients
+// read as "retry immediately", amplifying the very overload being shed.
+// The JSON body's RetryAfterMS carries the exact duration.
 func (s *Server) reject(w http.ResponseWriter, ms *modeStats, start time.Time, status int, kind, detail string) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	hint := s.cfg.RetryAfter
+	secs := int64((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	s.writeJSON(w, status, ErrorBody{Error: ErrorInfo{
-		Kind: kind, Detail: detail, RetryAfterMS: int64(retryAfter / time.Millisecond),
+		Kind: kind, Detail: detail, RetryAfterMS: hint.Milliseconds(),
 	}})
 	ms.record(outcomeShed, time.Since(start))
 }
@@ -487,6 +512,81 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // write errors mean the client is gone
+}
+
+// ReloadResponse is the /v1/admin/reload success body: the engine-level
+// update summary plus the wall time the swap took.
+type ReloadResponse struct {
+	// Changes is the number of section-level KB differences applied.
+	Changes int `json:"changes"`
+	// BasesUpdated / BasesDropped: cached bases delta-recompiled in place
+	// vs evicted because they no longer compile under the new KB.
+	BasesUpdated int `json:"bases_updated"`
+	BasesDropped int `json:"bases_dropped"`
+	// ShardsReused / ShardsConverted: per-assertion CNF shards spliced
+	// from the previous compiles vs reconverted.
+	ShardsReused    int `json:"shards_reused"`
+	ShardsConverted int `json:"shards_converted"`
+	// ProfilesCarried: warm-start profiles that survived the update.
+	ProfilesCarried int `json:"profiles_carried"`
+	// SnapshotsRewritten: disk snapshots re-persisted under the new KB.
+	SnapshotsRewritten int `json:"snapshots_rewritten"`
+	// ElapsedMS is the wall time of the whole reload.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// maxReloadBody bounds the reload request body; catalogs are small (the
+// full case-study KB is ~100KB), so 32MB is generous without letting a
+// bad client balloon the heap.
+const maxReloadBody = 32 << 20
+
+// handleReload swaps the knowledge base for the one in the request body
+// (KB JSON, as written by kb.Save) without shedding in-flight requests:
+// Engine.UpdateKB delta-recompiles the cached bases while running queries
+// finish on clones of the old ones, so there is no drain, no downtime,
+// and no cold-cache window — the very first post-reload query hits a
+// revalidated base. Reloads serialize; a reload during drain is refused.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ms := s.stats.mode("reload")
+	if s.draining.Load() {
+		s.reject(w, ms, start, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	// Decode and validate separately (kb.Load fuses them): a syntax
+	// problem is a 400, a well-formed KB that fails semantic validation
+	// (UpdateKB validates before swapping) is a 422.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReloadBody))
+	dec.DisallowUnknownFields()
+	var k kb.KB
+	if err := dec.Decode(&k); err != nil {
+		s.reloadErrors.Add(1)
+		s.writeError(w, ms, start, http.StatusBadRequest, ErrorInfo{
+			Kind: "bad_request", Detail: "parsing knowledge base: " + err.Error(),
+		})
+		return
+	}
+	s.reloadMu.Lock()
+	up, err := s.eng.UpdateKB(&k)
+	s.reloadMu.Unlock()
+	if err != nil {
+		s.reloadErrors.Add(1)
+		s.writeError(w, ms, start, http.StatusUnprocessableEntity, ErrorInfo{
+			Kind: "invalid_kb", Detail: err.Error(),
+		})
+		return
+	}
+	s.reloads.Add(1)
+	s.cfg.Logf("serve: reloaded KB: %s", up)
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
+		Changes:      len(up.Diff),
+		BasesUpdated: up.BasesUpdated, BasesDropped: up.BasesDropped,
+		ShardsReused: up.ShardsReused, ShardsConverted: up.ShardsConverted,
+		ProfilesCarried:    up.ProfilesCarried,
+		SnapshotsRewritten: up.SnapshotsRewritten,
+		ElapsedMS:          time.Since(start).Milliseconds(),
+	})
+	ms.record(outcomeOK, time.Since(start))
 }
 
 // handleHealthz: liveness — the process is up and serving HTTP.
@@ -519,19 +619,22 @@ type CacheStatsJSON struct {
 	DiskWrites    int64 `json:"disk_writes"`
 	DiskEvictions int64 `json:"disk_evictions"`
 	DiskCorrupt   int64 `json:"disk_corrupt"`
+	DiskStale     int64 `json:"disk_stale"`
 	PoolHits      int64 `json:"pool_hits"`
 	PoolMisses    int64 `json:"pool_misses"`
 }
 
 // StatsResponse is the /statsz body.
 type StatsResponse struct {
-	UptimeMS int64                    `json:"uptime_ms"`
-	Ready    bool                     `json:"ready"`
-	Draining bool                     `json:"draining"`
-	InFlight int64                    `json:"in_flight"`
-	Queued   int64                    `json:"queued"`
-	Cache    CacheStatsJSON           `json:"cache"`
-	Modes    map[string]ModeStatsJSON `json:"modes"`
+	UptimeMS     int64                    `json:"uptime_ms"`
+	Ready        bool                     `json:"ready"`
+	Draining     bool                     `json:"draining"`
+	InFlight     int64                    `json:"in_flight"`
+	Queued       int64                    `json:"queued"`
+	Reloads      int64                    `json:"reloads"`
+	ReloadErrors int64                    `json:"reload_errors"`
+	Cache        CacheStatsJSON           `json:"cache"`
+	Modes        map[string]ModeStatsJSON `json:"modes"`
 }
 
 // handleStatsz reports the full counter set: engine cache stats plus
@@ -539,18 +642,20 @@ type StatsResponse struct {
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	cs := s.eng.CacheStats()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Ready:    s.ready.Load(),
-		Draining: s.draining.Load(),
-		InFlight: s.inFlight.Load(),
-		Queued:   s.queued.Load(),
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+		Ready:        s.ready.Load(),
+		Draining:     s.draining.Load(),
+		InFlight:     s.inFlight.Load(),
+		Queued:       s.queued.Load(),
+		Reloads:      s.reloads.Load(),
+		ReloadErrors: s.reloadErrors.Load(),
 		Cache: CacheStatsJSON{
 			Size: cs.Size, Capacity: cs.Capacity,
 			Hits: cs.Hits, Misses: cs.Misses,
 			DiskHits: cs.DiskHits, DiskMisses: cs.DiskMisses,
 			DiskWrites: cs.DiskWrites, DiskEvictions: cs.DiskEvictions,
-			DiskCorrupt: cs.DiskCorrupt,
-			PoolHits:    cs.PoolHits, PoolMisses: cs.PoolMisses,
+			DiskCorrupt: cs.DiskCorrupt, DiskStale: cs.DiskStale,
+			PoolHits: cs.PoolHits, PoolMisses: cs.PoolMisses,
 		},
 		Modes: s.stats.snapshot(),
 	})
