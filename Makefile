@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff delta-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
 
 # BENCH is the JSON file the bench target writes and bench-diff compares
 # against; point it at the next PR's file when cutting a new baseline.
-BENCH ?= BENCH_PR8.json
+BENCH ?= BENCH_PR9.json
 
 build:
 	$(GO) build ./...
@@ -85,19 +85,30 @@ delta-diff:
 	$(GO) test -run='TestConvertShardsDelta|TestUpdateKBByteIdentity|TestKBMutationStalenessOrdering' -count=1 ./internal/logic ./internal/core
 	$(GO) test -race -run='TestUpdateKBConcurrentQueries|TestServeReloadUnderLoad' -count=1 ./internal/core ./internal/serve
 
+# optimize-diff pins the MaxSAT optimality differential (DESIGN.md §15):
+# lexicographic optima and Pareto frontiers must equal the brute-force
+# enumeration oracle's, for both descent strategies, at 1/2/8 workers,
+# warm and cold — plus the metamorphic invariants (cost scaling and
+# translation, dominated-SKU insertion, bound tightening).
+optimize-diff:
+	$(GO) test -run='TestOptimizeDifferential|TestParetoDifferential|TestMetamorphic' -count=1 ./internal/core
+
 # fuzz-smoke runs the snapshot decoders' fuzz targets briefly so the
 # untrusted-bytes contract (typed errors, no panics, no OOM) is
-# exercised on every gate, not only in dedicated fuzz sessions.
+# exercised on every gate, not only in dedicated fuzz sessions, plus the
+# MaxSAT bounds fuzzer (random weighted objectives must yield exact,
+# witnessed, unbeatable optima).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRestoreSnapshot -fuzztime=10s ./internal/sat
 	$(GO) test -run=NONE -fuzz=FuzzDecodeBase -fuzztime=10s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzMaxSATBounds -fuzztime=10s ./internal/core
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
-# analysis, the race detector over every package, the enumeration and
-# snapshot differentials, the hot-path allocation budgets, the serve
-# lifecycle smoke, a fuzz smoke over both snapshot decoders, and a
-# benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff portfolio-diff delta-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
+# analysis, the race detector over every package, the enumeration,
+# snapshot and optimality differentials, the hot-path allocation budgets,
+# the serve lifecycle smoke, a fuzz smoke over the snapshot decoders and
+# the MaxSAT bounds, and a benchmark smoke run.
+verify: build vet test race parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -512,6 +512,115 @@ func BenchmarkRepeatedQueries(b *testing.B) {
 	})
 }
 
+// BenchmarkOptimize measures the assumption-based MaxSAT optimizer. The
+// "full" rows run a certified lexicographic cost-then-power minimization
+// over the whole case-study catalog under both descent strategies (the
+// cache is primed off the clock, so the rows measure the descent, not
+// compilation). The "trimmed" rows compare the MaxSAT descent against
+// the exhaustive enumeration oracle (BruteOptimize — the independent arm
+// of the optimize-diff differential) on a design space small enough for
+// the oracle to finish: the asymmetry is why the oracle is a test
+// fixture and the descent is the product.
+func BenchmarkOptimize(b *testing.B) {
+	k := catalog.CaseStudy()
+	sc := netarch.Scenario{Workloads: []string{"inference_app"}}
+	objs := []netarch.Objective{{Kind: netarch.MinimizeCost}, {Kind: netarch.MinimizePower}}
+	strategies := []struct {
+		name string
+		s    netarch.OptimizeStrategy
+	}{{"binary", netarch.StrategyBinary}, {"linear", netarch.StrategyLinear}}
+	for _, strat := range strategies {
+		b.Run("full/"+strat.name, func(b *testing.B) {
+			eng, err := netarch.NewEngine(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Optimize(sc, objs); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.OptimizeWithStrategyCtx(context.Background(), sc, objs, netarch.Budget{}, strat.s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != netarch.Feasible || res.Approximate {
+					b.Fatal("want a certified optimum")
+				}
+			}
+		})
+	}
+
+	// Trim the space to the systems and SKUs of three witness classes so
+	// the exhaustive oracle terminates (the same seeding trick as
+	// BenchmarkEnumerateParallel).
+	eng, err := netarch.NewEngine(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed, err := eng.EnumerateCtx(context.Background(), sc, 3, netarch.Budget{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trim := sc
+	allowedSys := map[string]bool{}
+	allowedHW := map[netarch.HardwareKind]map[string]bool{}
+	for _, d := range seed.Designs {
+		for _, s := range d.Systems {
+			allowedSys[s] = true
+		}
+		for kind, name := range d.Hardware {
+			if allowedHW[kind] == nil {
+				allowedHW[kind] = map[string]bool{}
+			}
+			allowedHW[kind][name] = true
+		}
+	}
+	for _, s := range k.Systems {
+		if !allowedSys[s.Name] {
+			trim.ForbiddenSystems = append(trim.ForbiddenSystems, s.Name)
+		}
+	}
+	trim.AllowedHardware = map[netarch.HardwareKind][]string{}
+	for kind, names := range allowedHW {
+		for name := range names {
+			trim.AllowedHardware[kind] = append(trim.AllowedHardware[kind], name)
+		}
+	}
+	const oracleLimit = 500000
+	want, err := eng.BruteOptimize(trim, objs, oracleLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("trimmed/maxsat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Optimize(trim, objs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Verdict != netarch.Feasible || res.ObjectiveValues[0] != want.Values[0] {
+				b.Fatalf("maxsat disagrees with the oracle: %v vs %v",
+					res.ObjectiveValues, want.Values)
+			}
+		}
+	})
+	b.Run("trimmed/brute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.BruteOptimize(trim, objs, oracleLimit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Feasible {
+				b.Fatal("oracle lost feasibility")
+			}
+			b.ReportMetric(float64(res.Models), "models")
+		}
+	})
+}
+
 // BenchmarkEnumerateParallel measures a complete design-class enumeration
 // (uncapped, so the pool's cube partitioning actually runs) across a fixed
 // ladder of worker counts, so the sub-benchmark names report the real pool

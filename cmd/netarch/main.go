@@ -62,7 +62,13 @@ Common synth/optimize/explain flags:
   -forbid s1,s2       systems that must not be deployed
   -servers N          fleet size (default 48)
   -maxcost N          hardware budget in USD
-  -objectives list    (optimize) comma list: cost,cores,systems,order:<dim>
+  -objectives list    (optimize) comma list: cost,cores,systems,power,
+                      ports,latency,order:<dim> — earlier entries dominate
+  -strategy S         (optimize) MaxSAT descent: binary (default, tight
+                      bounds under budget trips) or linear (SAT-UNSAT)
+  -pareto             (optimize) enumerate the full non-dominated frontier
+                      over the objectives instead of one lexicographic
+                      optimum
 
 Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
   -timeout D          wall-clock deadline for the query (e.g. 500ms, 2s)
@@ -377,6 +383,8 @@ func cmdSolve(args []string, mode string) error {
 	setPortfolio := portfolioFlag(fs)
 	setCacheDir := cacheDirFlag(fs)
 	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
+	strategy := fs.String("strategy", "", "MaxSAT descent strategy: binary (default) or linear")
+	pareto := fs.Bool("pareto", false, "enumerate the Pareto frontier instead of one lexicographic optimum")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -459,17 +467,34 @@ func cmdSolve(args []string, mode string) error {
 		if err != nil {
 			return err
 		}
-		res, err := eng.OptimizeCtx(ctx, sc, objs, budget)
+		strat, err := netarch.ParseOptimizeStrategy(*strategy)
 		if err != nil {
 			return err
 		}
-		printReport(&res.Report)
-		if res.Verdict == netarch.Feasible {
-			for i, v := range res.ObjectiveValues {
-				fmt.Printf("objective[%d] %s = %d\n", i, objs[i].Kind, v)
+		if *pareto {
+			res, err := eng.ParetoWithStrategyCtx(ctx, sc, objs, budget, strat)
+			if err != nil {
+				return err
 			}
-			if res.Approximate {
-				fmt.Printf("approximate: optimization stopped on %s\n", res.ApproxCause)
+			printPareto(res, objs)
+		} else {
+			res, err := eng.OptimizeWithStrategyCtx(ctx, sc, objs, budget, strat)
+			if err != nil {
+				return err
+			}
+			printReport(&res.Report)
+			if res.Verdict == netarch.Feasible {
+				for i, v := range res.ObjectiveValues {
+					if res.LowerBounds[i] == v {
+						fmt.Printf("objective[%d] %s = %d (certified)\n", i, objs[i].Kind, v)
+					} else {
+						fmt.Printf("objective[%d] %s in [%d, %d]\n",
+							i, objs[i].Kind, res.LowerBounds[i], v)
+					}
+				}
+				if res.Approximate {
+					fmt.Printf("approximate: optimization stopped on %s\n", res.ApproxCause)
+				}
 			}
 		}
 	}
@@ -547,25 +572,54 @@ func cmdMulti(args []string) error {
 func parseObjectives(s string) ([]netarch.Objective, error) {
 	var out []netarch.Objective
 	for _, o := range splitList(s) {
-		switch {
-		case o == "cost":
-			out = append(out, netarch.Objective{Kind: netarch.MinimizeCost})
-		case o == "cores":
-			out = append(out, netarch.Objective{Kind: netarch.MinimizeCores})
-		case o == "systems":
-			out = append(out, netarch.Objective{Kind: netarch.MinimizeSystems})
-		case strings.HasPrefix(o, "order:"):
-			out = append(out, netarch.Objective{
-				Kind: netarch.PreferOrder, Dimension: strings.TrimPrefix(o, "order:"),
-			})
-		default:
-			return nil, fmt.Errorf("unknown objective %q", o)
+		obj, err := netarch.ParseObjective(o)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, obj)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no objectives given")
 	}
 	return out, nil
+}
+
+// printPareto renders a frontier: one line per non-dominated point with
+// its objective vector and witness, then the completeness verdict.
+func printPareto(res *netarch.ParetoResult, objs []netarch.Objective) {
+	if len(res.Points) == 0 && res.Complete {
+		fmt.Println("INFEASIBLE: empty frontier")
+		return
+	}
+	var names []string
+	for _, o := range objs {
+		if o.Dimension != "" {
+			names = append(names, fmt.Sprintf("%s:%s", o.Kind, o.Dimension))
+		} else {
+			names = append(names, fmt.Sprint(o.Kind))
+		}
+	}
+	fmt.Printf("frontier over (%s): %d points\n", strings.Join(names, ", "), len(res.Points))
+	for i, p := range res.Points {
+		vals := make([]string, len(p.Values))
+		for j, v := range p.Values {
+			vals[j] = fmt.Sprintf("%s=%d", names[j], v)
+		}
+		fmt.Printf("point %d: %s\n", i+1, strings.Join(vals, " "))
+		d := p.Design
+		fmt.Printf("  systems: %s\n", strings.Join(d.Systems, " "))
+		fmt.Printf("  hw:      %s / %s / %s\n",
+			d.Hardware[netarch.KindSwitch], d.Hardware[netarch.KindNIC],
+			d.Hardware[netarch.KindServer])
+	}
+	if res.Complete {
+		fmt.Println("complete: the frontier is provably the whole non-dominated set")
+	} else {
+		fmt.Printf("partial: stopped on %s; unexplored regions may add or dominate points\n",
+			res.Exhausted.Cause)
+	}
+	fmt.Printf("spent:    %d conflicts, %d decisions, %s\n",
+		res.Spent.Conflicts, res.Spent.Decisions, res.Spent.Wall.Round(time.Microsecond))
 }
 
 func printReport(rep *netarch.Report) {

@@ -1,0 +1,92 @@
+package cardinality
+
+import (
+	"math/rand"
+	"testing"
+
+	"netarch/internal/sat"
+)
+
+// TestTotalizerDescendingBoundsNoReencode pins the property the MaxSAT
+// descent depends on: one totalizer tree serves every bound. Asking for
+// AtMostLit(k) at successively tighter k must be a pure lookup into the
+// unary outputs — the clause and variable counts snapshotted after
+// construction cannot move, no matter how many bounds are queried or in
+// what order.
+func TestTotalizerDescendingBoundsNoReencode(t *testing.T) {
+	const n = 9
+	s := sat.NewSolver()
+	lits := freshLits(s, n)
+	tot := NewTotalizer(s, lits)
+	clauses, vars := s.NumClauses(), s.NumVars()
+	for k := n - 1; k >= 0; k-- {
+		b := tot.AtMostLit(k)
+		if b == 0 {
+			t.Fatalf("AtMostLit(%d) vacuous below n=%d", k, n)
+		}
+		if s.NumClauses() != clauses || s.NumVars() != vars {
+			t.Fatalf("AtMostLit(%d) re-encoded: clauses %d→%d, vars %d→%d",
+				k, clauses, s.NumClauses(), vars, s.NumVars())
+		}
+		// The looked-up literal must actually enforce the bound.
+		if st := s.SolveAssuming([]sat.Lit{b}); st != sat.Sat {
+			t.Fatalf("AtMostLit(%d) unsatisfiable alone: %v", k, st)
+		}
+		if got := tot.CountTrue(s.Model()); got > k {
+			t.Fatalf("model has %d true inputs under AtMostLit(%d)", got, k)
+		}
+	}
+	// Revisiting looser bounds after tight ones is equally free.
+	for _, k := range []int{n - 1, 0, n / 2, 1} {
+		tot.AtMostLit(k)
+		tot.AtLeastLit(k)
+	}
+	if s.NumClauses() != clauses || s.NumVars() != vars {
+		t.Fatalf("re-query re-encoded: clauses %d→%d, vars %d→%d",
+			clauses, s.NumClauses(), vars, s.NumVars())
+	}
+}
+
+// TestTotalizerAtLeastAtMostConsistency is the property test tying the
+// two bound directions together: for every k, (a) AtLeastLit(k+1) and
+// AtMostLit(k) are jointly unsatisfiable, and (b) each side alone admits
+// exactly the assignments its count predicate describes, under random
+// forced input assignments.
+func TestTotalizerAtLeastAtMostConsistency(t *testing.T) {
+	const n = 7
+	rng := rand.New(rand.NewSource(41))
+	s := sat.NewSolver()
+	lits := freshLits(s, n)
+	tot := NewTotalizer(s, lits)
+	for k := 0; k < n; k++ {
+		atMost, atLeast := tot.AtMostLit(k), tot.AtLeastLit(k+1)
+		if st := s.SolveAssuming([]sat.Lit{atMost, atLeast}); st != sat.Unsat {
+			t.Fatalf("≤%d ∧ ≥%d must be unsat, got %v", k, k+1, st)
+		}
+	}
+	// Random trials: force a known number of inputs true and check both
+	// bound literals agree with plain counting.
+	assumps := make([]sat.Lit, 0, n+1)
+	for trial := 0; trial < 200; trial++ {
+		assumps = assumps[:0]
+		truth := 0
+		for _, l := range lits {
+			if rng.Intn(2) == 1 {
+				truth++
+				assumps = append(assumps, l)
+			} else {
+				assumps = append(assumps, l.Flip())
+			}
+		}
+		k := rng.Intn(n)
+		wantMost := truth <= k
+		if st := s.SolveAssuming(append(assumps, tot.AtMostLit(k))); (st == sat.Sat) != wantMost {
+			t.Fatalf("trial %d: %d true, AtMostLit(%d) solved %v", trial, truth, k, st)
+		}
+		kl := 1 + rng.Intn(n)
+		wantLeast := truth >= kl
+		if st := s.SolveAssuming(append(assumps, tot.AtLeastLit(kl))); (st == sat.Sat) != wantLeast {
+			t.Fatalf("trial %d: %d true, AtLeastLit(%d) solved %v", trial, truth, kl, st)
+		}
+	}
+}

@@ -105,6 +105,8 @@ type compiled struct {
 	coresUsed  intlin.Int
 	coresTotal intlin.Int
 	costTotal  intlin.Int
+	powerTotal intlin.Int
+	portTotal  intlin.Int
 
 	// witness is the most recent Sat model read back as a design; the
 	// optimizer snapshots it so a budget trip mid-optimization can still
@@ -219,6 +221,8 @@ func (e *Engine) compileBaseWith(k *kb.KB, sc *Scenario, prev *logic.ShardSet) (
 	c.arith = intlin.New(c.solver)
 	c.resourceConstraints()
 	c.costModel()
+	c.powerModel()
+	c.portModel()
 	// One inprocessing pass pays off across every clone of this base (and
 	// runs on the cache-off path too, so both paths stay byte-identical).
 	c.solver.Simplify()
@@ -943,6 +947,42 @@ func (c *compiled) costModel() {
 	}
 }
 
+// powerModel builds the fleet's total power draw in watts: each SKU's
+// power_w rule of thumb (Listing 1 quantities) times its deployment
+// count, summed over servers, NICs, and switches. The circuit exists on
+// every base so MinimizePower and the power_w design metric work for
+// any scenario shape.
+func (c *compiled) powerModel() {
+	ns := int64(c.sc.numServers())
+	nsw := int64(c.sc.numSwitches())
+	var terms []intlin.Int
+	add := func(kind kb.HardwareKind, count int64) {
+		for _, h := range c.allowedHardware(kind) {
+			if w := h.Q(kb.ResPowerW) * count; w > 0 {
+				terms = append(terms, c.arith.ScaledBool(c.hwLit[h.Name], w))
+			}
+		}
+	}
+	add(kb.KindServer, ns)
+	add(kb.KindNIC, ns)
+	add(kb.KindSwitch, nsw)
+	c.powerTotal = c.arith.Sum(terms...)
+}
+
+// portModel builds the fabric's total switch port count (selected
+// switch's ports times the switch count) — the MinimizePorts objective
+// and the switch_ports design metric.
+func (c *compiled) portModel() {
+	nsw := int64(c.sc.numSwitches())
+	var terms []intlin.Int
+	for _, h := range c.allowedHardware(kb.KindSwitch) {
+		if p := h.Q(kb.ResPortCount) * nsw; p > 0 {
+			terms = append(terms, c.arith.ScaledBool(c.hwLit[h.Name], p))
+		}
+	}
+	c.portTotal = c.arith.Sum(terms...)
+}
+
 // selectorLit returns the literal of the selector registered under name.
 // Specialized instances carry no name index (selByName stays base-side),
 // so this scans; it is used by tests and diagnostics, not hot paths.
@@ -1004,5 +1044,7 @@ func (c *compiled) designFrom(model []bool) *Design {
 	d.Metrics["cores_used"] = intlin.ValueOf(c.coresUsed, model)
 	d.Metrics["cores_total"] = intlin.ValueOf(c.coresTotal, model)
 	d.Metrics["cost_usd"] = intlin.ValueOf(c.costTotal, model)
+	d.Metrics["power_w"] = intlin.ValueOf(c.powerTotal, model)
+	d.Metrics["switch_ports"] = intlin.ValueOf(c.portTotal, model)
 	return d
 }

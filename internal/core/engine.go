@@ -78,6 +78,10 @@ type Engine struct {
 	// toggles cross-query phase/activity profile reuse (SetWarmStart).
 	portfolio atomic.Int32
 	warmStart atomic.Bool
+	// optStrategy is the engine-wide default MaxSAT descent strategy
+	// for Optimize/Pareto queries (see SetOptimizeStrategy); the zero
+	// value is StrategyBinary.
+	optStrategy atomic.Int32
 	// Lifetime clause-exchange totals across portfolio queries
 	// (PortfolioStats).
 	portExported atomic.Int64

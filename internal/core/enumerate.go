@@ -136,6 +136,7 @@ type enumGov struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	budget Budget
+	query  string // entry-point name for exhaustion errors
 	start  time.Time
 	watch  *sat.WatchGroup
 
@@ -151,7 +152,7 @@ func newEnumGov(ctx context.Context, b Budget) *enumGov {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	g := &enumGov{budget: b, start: time.Now()}
+	g := &enumGov{budget: b, query: "enumerate", start: time.Now()}
 	if b.Timeout > 0 {
 		g.ctx, g.cancel = context.WithTimeout(ctx, b.Timeout)
 	} else {
@@ -252,7 +253,7 @@ func (g *enumGov) exhausted() *ErrResourceExhausted {
 	g.mu.Lock()
 	cause, ctxErr := g.cause, g.ctxErr
 	g.mu.Unlock()
-	return &ErrResourceExhausted{Query: "enumerate", Cause: cause, Spent: g.spent(), ctxErr: ctxErr}
+	return &ErrResourceExhausted{Query: g.query, Cause: cause, Spent: g.spent(), ctxErr: ctxErr}
 }
 
 // done releases the watchdog. Call exactly once, when the query ends.

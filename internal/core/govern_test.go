@@ -316,26 +316,109 @@ func TestEnumerateLegacyPropagatesExhaustion(t *testing.T) {
 
 func TestOptimizeDegradesToApproximate(t *testing.T) {
 	// A budget trip mid-optimization keeps the best witness seen instead
-	// of discarding the query.
+	// of discarding the query, and the [LowerBound, Value] bracket is
+	// monotone in the budget: shrinking the solve allowance can only
+	// weaken the proven lower bound and worsen the witnessed value.
+	type bracket struct{ lb, val int64 }
+	run := func(t *testing.T, allow int) (*OptimizeResult, bracket) {
+		t.Helper()
+		e := mustEngine(t, miniKB())
+		solves := 0
+		e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
+			if ev == sat.EventSolve {
+				solves++
+				return solves > allow
+			}
+			return false
+		})
+		res, err := e.OptimizeCtx(context.Background(), Scenario{},
+			[]Objective{{Kind: MinimizeCost}}, Budget{})
+		if err != nil {
+			t.Fatalf("degraded optimize must not error: %v", err)
+		}
+		if res.Verdict != Feasible || res.Design == nil {
+			t.Fatalf("witness lost: %+v", res)
+		}
+		if len(res.ObjectiveValues) != len(res.LowerBounds) {
+			t.Fatalf("bracket lists diverge: values=%v lbs=%v", res.ObjectiveValues, res.LowerBounds)
+		}
+		if len(res.ObjectiveValues) == 0 {
+			return res, bracket{lb: -1, val: -1}
+		}
+		return res, bracket{lb: res.LowerBounds[0], val: res.ObjectiveValues[0]}
+	}
+
+	// Tightest budget: feasibility passes, the objective search trips on
+	// its very first solve — the classic degradation. The level never
+	// produced a value, so the bracket lists are empty (the documented
+	// "levels the budget never reached" tail) but the witness survives.
+	res, b := run(t, 1)
+	if !res.Approximate || res.ApproxCause != "interrupt" {
+		t.Fatalf("want approximate/interrupt, got approx=%v cause=%q", res.Approximate, res.ApproxCause)
+	}
+	if b.val != -1 {
+		t.Fatalf("one allowed solve cannot certify a value, got %+v", res.ObjectiveValues)
+	}
+
+	// Shrinking budgets: the bracket must stay valid and only widen.
+	prev := bracket{lb: -1, val: -1}
+	for i, allow := range []int{24, 8, 4, 3, 2} {
+		res, b := run(t, allow)
+		if b.lb > b.val {
+			t.Fatalf("allow=%d: inverted bracket [%d, %d]", allow, b.lb, b.val)
+		}
+		if !res.Approximate && b.lb != b.val {
+			t.Fatalf("allow=%d: certified result must have a tight bracket, got [%d, %d]",
+				allow, b.lb, b.val)
+		}
+		if i > 0 {
+			if b.lb > prev.lb {
+				t.Errorf("allow=%d: lower bound improved under a smaller budget: %d > %d",
+					allow, b.lb, prev.lb)
+			}
+			if b.val < prev.val {
+				t.Errorf("allow=%d: witness improved under a smaller budget: %d < %d",
+					allow, b.val, prev.val)
+			}
+		}
+		prev = b
+	}
+}
+
+func TestOptimizeBinarySearchExhaustion(t *testing.T) {
+	// Trip the budget INSIDE the binary-search descent (after feasibility
+	// and the search's initial model, mid-bisection): the query must
+	// degrade to the bounded-suboptimality contract, not error.
 	e := mustEngine(t, miniKB())
 	solves := 0
 	e.SetFaultHook(func(ev sat.FaultEvent, _ sat.Stats) bool {
 		if ev == sat.EventSolve {
 			solves++
-			return solves >= 2 // feasibility passes; the objective search trips
+			return solves > 4 // feasibility + initial model + two bisection probes
 		}
 		return false
 	})
-	res, err := e.OptimizeCtx(context.Background(), Scenario{},
-		[]Objective{{Kind: MinimizeSystems}}, Budget{})
+	res, err := e.OptimizeWithStrategyCtx(context.Background(), Scenario{},
+		[]Objective{{Kind: MinimizeCost}}, Budget{}, StrategyBinary)
 	if err != nil {
-		t.Fatalf("degraded optimize must not error: %v", err)
+		t.Fatalf("mid-bisection trip must degrade, not error: %v", err)
 	}
 	if res.Verdict != Feasible || res.Design == nil {
 		t.Fatalf("witness lost: %+v", res)
 	}
 	if !res.Approximate || res.ApproxCause != "interrupt" {
 		t.Fatalf("want approximate/interrupt, got approx=%v cause=%q", res.Approximate, res.ApproxCause)
+	}
+	if res.LowerBounds[0] > res.ObjectiveValues[0] {
+		t.Fatalf("inverted bracket [%d, %d]", res.LowerBounds[0], res.ObjectiveValues[0])
+	}
+	// The witness must be a real design for the scenario even though the
+	// optimum was never certified. (Disarm the hook first: the check is a
+	// fresh query, not part of the budgeted one.)
+	e.SetFaultHook(nil)
+	chk, err := e.Check(*res.Design, Scenario{})
+	if err != nil || chk.Verdict != Feasible {
+		t.Fatalf("degraded witness fails Check: %v %+v", err, chk)
 	}
 }
 

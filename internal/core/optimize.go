@@ -4,20 +4,63 @@ import (
 	"context"
 	"fmt"
 
-	"netarch/internal/cardinality"
 	"netarch/internal/intlin"
+	"netarch/internal/maxsat"
 	"netarch/internal/sat"
 )
+
+// OptimizeStrategy selects the MaxSAT descent strategy for Optimize and
+// Pareto queries; see the maxsat package for the trade-off.
+type OptimizeStrategy = maxsat.Strategy
+
+// Optimization strategies.
+const (
+	// StrategyBinary bisects the objective range (the default): budget
+	// trips leave tight two-sided bounds.
+	StrategyBinary = maxsat.BinarySearch
+	// StrategyLinear descends SAT-UNSAT: every step improves the
+	// witness, but the lower bound stays trivial until the final Unsat.
+	StrategyLinear = maxsat.LinearSatUnsat
+)
+
+// SetOptimizeStrategy sets the engine-wide default MaxSAT strategy used
+// by Optimize/OptimizeCtx and Pareto/ParetoCtx. Safe to call
+// concurrently; queries in flight keep the strategy they started with.
+// Per-query overrides go through OptimizeWithStrategyCtx.
+func (e *Engine) SetOptimizeStrategy(s OptimizeStrategy) {
+	e.optStrategy.Store(int32(s))
+}
+
+// OptimizeStrategy reports the engine-wide default MaxSAT strategy.
+func (e *Engine) OptimizeStrategy() OptimizeStrategy {
+	return OptimizeStrategy(e.optStrategy.Load())
+}
+
+// ParseOptimizeStrategy parses the CLI/serve strategy spelling: "binary"
+// (or empty, the default) and "linear".
+func ParseOptimizeStrategy(s string) (OptimizeStrategy, error) {
+	return maxsat.ParseStrategy(s)
+}
 
 // OptimizeResult extends a feasible report with the achieved objective
 // values, in priority order.
 type OptimizeResult struct {
 	Report
-	// ObjectiveValues[i] is the minimum achieved for objectives[i]. When
+	// ObjectiveValues[i] is the best witnessed value for objectives[i].
+	// Every certified level's value is the exact optimum; when
 	// Approximate, the tail of the list may be missing (levels the
-	// budget never reached) and the last present value may be an upper
-	// bound rather than a certified optimum.
+	// budget never reached) and the last present value is an upper
+	// bound on that level's optimum.
 	ObjectiveValues []int64
+	// LowerBounds[i] is the proven lower bound for objectives[i],
+	// parallel to ObjectiveValues: every value below it was refuted by
+	// an Unsat verdict (or is below the trivial floor 0). On a
+	// certified level LowerBounds[i] == ObjectiveValues[i]; under a
+	// budget trip the last level may be loose — the true optimum lies
+	// in [LowerBounds[i], ObjectiveValues[i]]. That bracket is the
+	// bounded-suboptimality contract: a degraded optimization is never
+	// just "here is some design", it is "the optimum is in this box".
+	LowerBounds []int64
 	// Approximate reports that a resource budget tripped mid-
 	// optimization: Design is the best witness found before the trip,
 	// not a certified lexicographic optimum.
@@ -29,24 +72,38 @@ type OptimizeResult struct {
 // Optimize finds a design minimizing the objectives lexicographically
 // (the paper's "Optimize(latency > Hardware cost > monitoring)", Listing
 // 3). Earlier objectives dominate: each level is minimized subject to all
-// previous levels being at their minima.
+// previous levels being at their minima. The result is certified: every
+// level's value is a MaxSAT optimum, not a heuristic.
 func (e *Engine) Optimize(sc Scenario, objectives []Objective) (*OptimizeResult, error) {
 	return e.OptimizeCtx(context.Background(), sc, objectives, Budget{})
 }
 
-// OptimizeCtx is Optimize under a context and resource budget. Each
-// objective level runs as its own budget phase. If a budget trips after
-// feasibility is established, the best design and bounds proven so far
-// are returned with Approximate set — the optimizer degrades, it does
-// not discard work. Only an exhaustion before any verdict yields
+// OptimizeCtx is Optimize under a context and resource budget, using the
+// engine's default strategy (SetOptimizeStrategy). Each objective level
+// runs as its own budget phase. If a budget trips after feasibility is
+// established, the best design and bounds proven so far are returned
+// with Approximate set — the optimizer degrades, it does not discard
+// work. Only an exhaustion before any verdict yields
 // *ErrResourceExhausted.
 func (e *Engine) OptimizeCtx(ctx context.Context, sc Scenario, objectives []Objective, b Budget) (*OptimizeResult, error) {
+	return e.OptimizeWithStrategyCtx(ctx, sc, objectives, b, e.OptimizeStrategy())
+}
+
+// OptimizeWithStrategyCtx is OptimizeCtx with an explicit per-query
+// strategy (the serve layer threads the request's strategy here so
+// concurrent requests cannot race an engine-wide knob).
+func (e *Engine) OptimizeWithStrategyCtx(ctx context.Context, sc Scenario, objectives []Objective, b Budget, strat OptimizeStrategy) (*OptimizeResult, error) {
 	c, err := e.instance(&sc)
 	if err != nil {
 		return nil, err
 	}
 	g := govern(ctx, "optimize", b, c.solver)
 	defer g.done()
+	if e.warmStart.Load() {
+		if p := c.warmProfile(); p != nil {
+			c.solver.ApplyProfile(p)
+		}
+	}
 	assumps := c.assumptions()
 	switch status := c.solver.SolveAssuming(assumps); status {
 	case sat.Sat:
@@ -60,150 +117,125 @@ func (e *Engine) OptimizeCtx(ctx context.Context, sc Scenario, objectives []Obje
 	default:
 		return nil, g.exhausted()
 	}
+	witness := c.designFromModel()
 
+	specs, err := c.objectiveSpecs(objectives)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]maxsat.Objective, len(specs))
+	for i := range specs {
+		objs[i] = specs[i].instantiate(c)
+	}
+	lex, err := maxsat.Lexicographic(c.solver, objs, maxsat.Options{
+		Strategy: strat,
+		Hard:     assumps,
+		Phase:    g.phase,
+	})
+	if err != nil {
+		// Feasibility was just established on this solver, so the hard
+		// side cannot be unsatisfiable; surface the inconsistency.
+		return nil, fmt.Errorf("core: optimize lost feasibility mid-search: %w", err)
+	}
 	res := &OptimizeResult{Report: Report{Verdict: Feasible}}
-	c.witness = c.designFromModel()
-	for _, obj := range objectives {
-		g.phase() // fresh allowance per objective level
-		val, exact, err := c.minimizeObjective(obj, assumps)
-		if err != nil {
-			return nil, err
-		}
-		if val >= 0 {
-			res.ObjectiveValues = append(res.ObjectiveValues, val)
-		}
-		if !exact {
-			res.Approximate = true
-			res.ApproxCause, _ = g.cause()
-			break
-		}
+	res.ObjectiveValues = lex.Values
+	res.LowerBounds = lex.LowerBounds
+	if !lex.Exact {
+		res.Approximate = true
+		res.ApproxCause, _ = g.cause()
 	}
-	if !res.Approximate {
-		// Re-solve under the accumulated bounds for the final witness.
-		g.phase()
-		switch c.solver.SolveAssuming(assumps) {
-		case sat.Sat:
-			c.witness = c.designFromModel()
-		case sat.Unsat:
-			return nil, fmt.Errorf("core: optimum vanished after bounding (internal error)")
-		default:
-			// Budget tripped on the witness re-solve: the last snapshot
-			// from the search is still a valid (optimal-valued) design.
-			res.Approximate = true
-			res.ApproxCause, _ = g.cause()
-		}
+	if lex.Model != nil {
+		witness = c.designFrom(lex.Model)
 	}
-	res.Design = c.witness
+	res.Design = witness
+	if e.warmStart.Load() {
+		c.storeWarmProfile()
+	}
 	res.setSpent(g.spent())
 	return res, nil
 }
 
-// minimizeObjective minimizes one objective level and permanently asserts
-// its optimum, returning the achieved value. The bool result reports
-// exactness: false means a resource budget stopped the search — the
-// returned value (if ≥ 0) is a witnessed upper bound, and -1 means the
-// level never established any value.
-func (c *compiled) minimizeObjective(obj Objective, assumps []sat.Lit) (int64, bool, error) {
-	switch obj.Kind {
-	case MinimizeCost:
-		return c.minimizeInt(c.costTotal, assumps)
-	case MinimizeCores:
-		return c.minimizeInt(c.coresUsed, assumps)
-	case MinimizeSystems:
-		lits := make([]sat.Lit, 0, len(c.sysLit))
-		for i := range c.kb.Systems {
-			lits = append(lits, c.sysLit[c.kb.Systems[i].Name])
-		}
-		return c.minimizeCount(lits, assumps)
-	case PreferOrder:
-		lits, err := c.orderPenaltyLits(obj.Dimension)
-		if err != nil {
-			return 0, false, err
-		}
-		if len(lits) == 0 {
-			return 0, true, nil
-		}
-		return c.minimizeCount(lits, assumps)
-	default:
-		return 0, false, fmt.Errorf("core: unknown objective kind %v", obj.Kind)
-	}
+// objectiveSpec is one optimization level lowered onto a compiled
+// instance: either an arithmetic term that already lives in the base
+// circuits (cost, cores, power, ports) or a freshly built counting
+// network (systems, order penalties). Count circuits are emitted into
+// the instance the spec was built on; their bound literals are pure
+// lookups afterwards, so a spec is safe to instantiate on any fork of
+// that instance (the Pareto cube workers rely on this).
+type objectiveSpec struct {
+	term  intlin.Int            // int-backed objectives
+	isInt bool                  // term valid
+	count *maxsat.CountObjective // count-backed objectives
 }
 
-// minimizeInt binary-searches the minimum of an arithmetic term under the
-// assumptions, then asserts term ≤ best permanently. On a budget trip the
-// best witnessed value so far is asserted and returned as inexact.
-func (c *compiled) minimizeInt(term intlin.Int, assumps []sat.Lit) (int64, bool, error) {
-	switch c.solver.SolveAssuming(assumps) {
-	case sat.Sat:
-	case sat.Unknown:
-		return -1, false, nil // budget tripped before any value was seen
-	default:
-		return 0, false, fmt.Errorf("core: objective base became infeasible")
+// instantiate binds the spec to a fork's solver: int-backed objectives
+// get the fork's arithmetic builder (comparator gates must land in the
+// fork, not the template), count-backed objectives are shared as-is.
+func (sp objectiveSpec) instantiate(f *compiled) maxsat.Objective {
+	if sp.isInt {
+		return maxsat.NewInt(f.arith, sp.term)
 	}
-	best := intlin.ValueOf(term, c.solver.Model())
-	c.witness = c.designFromModel()
-	lo := int64(0)
-	for lo < best {
-		mid := lo + (best-lo)/2
-		bound := c.arith.LeqConst(term, mid)
-		switch c.solver.SolveAssuming(append(append([]sat.Lit(nil), assumps...), bound)) {
-		case sat.Sat:
-			if v := intlin.ValueOf(term, c.solver.Model()); v < mid {
-				best = v // model read-back can only improve the bound
-			} else {
-				best = mid
-			}
-			c.witness = c.designFromModel()
-		case sat.Unsat:
-			lo = mid + 1
-		default:
-			// Budget tripped mid-search: keep the witnessed upper bound.
-			c.arith.Assert(c.arith.LeqConst(term, best))
-			return best, false, nil
-		}
-	}
-	c.arith.Assert(c.arith.LeqConst(term, best))
-	return best, true, nil
+	return sp.count
 }
 
-// minimizeCount minimizes the number of true literals via a totalizer and
-// binary search, then asserts the optimum permanently. Degrades like
-// minimizeInt on a budget trip.
-func (c *compiled) minimizeCount(lits []sat.Lit, assumps []sat.Lit) (int64, bool, error) {
-	switch c.solver.SolveAssuming(assumps) {
-	case sat.Sat:
-	case sat.Unknown:
-		return -1, false, nil
-	default:
-		return 0, false, fmt.Errorf("core: objective base became infeasible")
-	}
-	tot := cardinality.NewTotalizer(c.solver, lits)
-	best := int64(tot.CountTrue(c.solver.Model()))
-	c.witness = c.designFromModel()
-	lo := int64(0)
-	for lo < best {
-		mid := lo + (best-lo)/2
-		trial := append([]sat.Lit(nil), assumps...)
-		if bl := tot.AtMostLit(int(mid)); bl != 0 {
-			trial = append(trial, bl)
-		}
-		switch c.solver.SolveAssuming(trial) {
-		case sat.Sat:
-			if v := int64(tot.CountTrue(c.solver.Model())); v < mid {
-				best = v
-			} else {
-				best = mid
+// objectiveSpecs lowers the objective list onto c, building whatever
+// circuits the levels need (totalizers, order-penalty literals). Call it
+// on the instance whose clones will be searched — before cloning.
+func (c *compiled) objectiveSpecs(objectives []Objective) ([]objectiveSpec, error) {
+	specs := make([]objectiveSpec, len(objectives))
+	for i, obj := range objectives {
+		switch obj.Kind {
+		case MinimizeCost:
+			specs[i] = objectiveSpec{term: c.costTotal, isInt: true}
+		case MinimizeCores:
+			specs[i] = objectiveSpec{term: c.coresUsed, isInt: true}
+		case MinimizePower:
+			specs[i] = objectiveSpec{term: c.powerTotal, isInt: true}
+		case MinimizePorts:
+			specs[i] = objectiveSpec{term: c.portTotal, isInt: true}
+		case MinimizeSystems:
+			lits := make([]sat.Lit, 0, len(c.sysLit))
+			for j := range c.kb.Systems {
+				lits = append(lits, c.sysLit[c.kb.Systems[j].Name])
 			}
-			c.witness = c.designFromModel()
-		case sat.Unsat:
-			lo = mid + 1
+			specs[i] = objectiveSpec{count: maxsat.NewCount(c.solver, lits)}
+		case PreferOrder:
+			lits, err := c.orderPenaltyLits(obj.Dimension)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = objectiveSpec{count: maxsat.NewCount(c.solver, lits)}
 		default:
-			tot.ConstrainAtMost(int(best))
-			return best, false, nil
+			return nil, fmt.Errorf("core: unknown objective kind %v", obj.Kind)
 		}
 	}
-	tot.ConstrainAtMost(int(best))
-	return best, true, nil
+	return specs, nil
+}
+
+// ParseObjective parses the CLI/serve spelling of one objective level:
+// "cost", "cores", "systems", "power", "ports", "latency" (shorthand
+// for the tail_latency preference order), or "order:<dimension>".
+func ParseObjective(name string) (Objective, error) {
+	switch name {
+	case "cost":
+		return Objective{Kind: MinimizeCost}, nil
+	case "cores":
+		return Objective{Kind: MinimizeCores}, nil
+	case "systems":
+		return Objective{Kind: MinimizeSystems}, nil
+	case "power":
+		return Objective{Kind: MinimizePower}, nil
+	case "ports":
+		return Objective{Kind: MinimizePorts}, nil
+	case "latency":
+		// The latency rule of thumb: prefer designs maximal in the
+		// tail_latency partial order (Figure 1's latency panel).
+		return Objective{Kind: PreferOrder, Dimension: "tail_latency"}, nil
+	}
+	if len(name) > 6 && name[:6] == "order:" {
+		return Objective{Kind: PreferOrder, Dimension: name[6:]}, nil
+	}
+	return Objective{}, fmt.Errorf("core: unknown objective %q (want cost, cores, systems, power, ports, latency, or order:<dimension>)", name)
 }
 
 // orderPenaltyLits builds one penalty literal per "dominated deployment":

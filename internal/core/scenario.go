@@ -320,6 +320,12 @@ const (
 	// better same-role alternative is left undeployed counts as one
 	// violation.
 	PreferOrder
+	// MinimizePower minimizes the fleet's total power draw in watts
+	// (per-SKU power_w rules of thumb times the deployment counts).
+	MinimizePower
+	// MinimizePorts minimizes the total switch port count — a proxy for
+	// fabric size and cabling.
+	MinimizePorts
 )
 
 // String names the objective kind.
@@ -333,6 +339,10 @@ func (k ObjectiveKind) String() string {
 		return "minimize_systems"
 	case PreferOrder:
 		return "prefer_order"
+	case MinimizePower:
+		return "minimize_power"
+	case MinimizePorts:
+		return "minimize_ports"
 	default:
 		return fmt.Sprintf("ObjectiveKind(%d)", int(k))
 	}

@@ -57,7 +57,10 @@ var baseSnapshotMagic = [8]byte{'N', 'A', 'B', 'A', 'S', 'E', 1, '\n'}
 // conversion, which renumbers auxiliary variables relative to v1 bases.
 // v3: the warm-start profile section between the arithmetic bit vectors
 // and the solver snapshot.
-const baseSnapshotVersion = 3
+// v4: the powerTotal/portTotal arithmetic bit vectors (MaxSAT cost
+// models) after costTotal — and the circuits themselves change the
+// compiled solver state, so v3 bases are unusable anyway.
+const baseSnapshotVersion = 4
 
 // Snapshot decode failure classes.
 var (
@@ -134,6 +137,8 @@ func snapshotBase(c *compiled, kbHash [32]byte) []byte {
 	buf = appendInt(buf, c.coresUsed)
 	buf = appendInt(buf, c.coresTotal)
 	buf = appendInt(buf, c.costTotal)
+	buf = appendInt(buf, c.powerTotal)
+	buf = appendInt(buf, c.portTotal)
 
 	var warm *sat.WarmProfile
 	if c.warm != nil {
@@ -358,6 +363,14 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 	if err != nil {
 		return nil, err
 	}
+	powerTotal, err := r.intlinInt("powerTotal", 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	portTotal, err := r.intlinInt("portTotal", 1<<30)
+	if err != nil {
+		return nil, err
+	}
 
 	warmFlag, err := r.take(1, "warm-start flag")
 	if err != nil {
@@ -435,7 +448,7 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 			return nil, err
 		}
 	}
-	for _, a := range []intlin.Int{coresUsed, coresTotal, costTotal} {
+	for _, a := range []intlin.Int{coresUsed, coresTotal, costTotal, powerTotal, portTotal} {
 		for _, l := range a.Bits() {
 			if err := checkLit("arith", l); err != nil {
 				return nil, err
@@ -470,6 +483,8 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 		coresUsed:  coresUsed,
 		coresTotal: coresTotal,
 		costTotal:  costTotal,
+		powerTotal: powerTotal,
+		portTotal:  portTotal,
 	}
 	c.selectors = make([]selector, nSel)
 	for i, s := range rawSels {

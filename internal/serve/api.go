@@ -177,13 +177,23 @@ func tighten(policy core.Budget, req *BudgetJSON) core.Budget {
 
 // QueryRequest is the body of every POST /v1/<mode> request. Scenario is
 // required; the other fields are mode-specific (Design for check, Delta
-// for whatif, Max for enumerate).
+// for whatif, Max for enumerate, Objectives/Strategy/Pareto for
+// optimize).
 type QueryRequest struct {
 	Scenario ScenarioJSON `json:"scenario"`
 	Design   *DesignJSON  `json:"design,omitempty"`
 	Delta    *DeltaJSON   `json:"delta,omitempty"`
 	Max      int          `json:"max,omitempty"`
 	Budget   *BudgetJSON  `json:"budget,omitempty"`
+
+	// Optimize fields. Objectives are priority-ordered level names
+	// ("cost", "cores", "systems", "power", "ports", "latency",
+	// "order:<dimension>"); Strategy is "binary" (default) or "linear";
+	// Pareto switches from lexicographic optimization to full
+	// Pareto-front enumeration over the same objectives.
+	Objectives []string `json:"objectives,omitempty"`
+	Strategy   string   `json:"strategy,omitempty"`
+	Pareto     bool     `json:"pareto,omitempty"`
 }
 
 // DesignOut is the wire form of an answered design.
@@ -281,9 +291,29 @@ type QueryResponse struct {
 	Before *Outcome `json:"before,omitempty"`
 	After  *Outcome `json:"after,omitempty"`
 
+	// Optimize fields. ObjectiveValues[i] is the best witnessed value of
+	// the i-th requested objective; LowerBounds[i] is its proven lower
+	// bound. On a certified (non-degraded) response the two are equal
+	// level by level; on a degraded response the true optimum of the
+	// last present level lies in [LowerBounds[i], ObjectiveValues[i]] —
+	// the bounded-suboptimality contract (DESIGN.md §15).
+	ObjectiveValues []int64 `json:"objective_values,omitempty"`
+	LowerBounds     []int64 `json:"lower_bounds,omitempty"`
+	// ParetoPoints is the non-dominated frontier (pareto=true), sorted
+	// by objective vector; Complete reports it is provably the whole
+	// frontier (false under a budget trip, with Degraded set).
+	ParetoPoints []*ParetoPointOut `json:"pareto_points,omitempty"`
+	Complete     bool              `json:"complete,omitempty"`
+
 	Degraded      bool      `json:"degraded,omitempty"`
 	DegradedCause string    `json:"degraded_cause,omitempty"`
 	Spent         SpentJSON `json:"spent"`
+}
+
+// ParetoPointOut is one non-dominated objective vector with a witness.
+type ParetoPointOut struct {
+	Values []int64    `json:"values"`
+	Design *DesignOut `json:"design,omitempty"`
 }
 
 // ErrorBody is the typed JSON body of every non-200 response — the PR 1

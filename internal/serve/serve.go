@@ -162,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.mux = http.NewServeMux()
-	for _, mode := range []string{"check", "synth", "whatif", "enumerate", "explain"} {
+	for _, mode := range []string{"check", "synth", "whatif", "enumerate", "explain", "optimize"} {
 		s.mux.HandleFunc("POST /v1/"+mode, s.queryHandler(mode))
 	}
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
@@ -362,6 +362,12 @@ func (s *Server) queryHandler(mode string) http.HandlerFunc {
 			})
 			return
 		}
+		if mode == "optimize" && len(req.Objectives) == 0 {
+			s.writeError(w, ms, start, http.StatusBadRequest, ErrorInfo{
+				Kind: "bad_request", Detail: "optimize requires at least one objective",
+			})
+			return
+		}
 
 		budget := tighten(s.cfg.Policy, req.Budget)
 		resp, errInfo, status := s.execute(r.Context(), mode, &req, budget)
@@ -473,6 +479,58 @@ func (s *Server) execute(ctx context.Context, mode string, req *QueryRequest, bu
 			// the enumeration degradation contract.
 			resp.Degraded = true
 			resp.DegradedCause = res.Exhausted.Cause
+		}
+
+	case "optimize":
+		objs := make([]core.Objective, len(req.Objectives))
+		for i, name := range req.Objectives {
+			obj, err := core.ParseObjective(name)
+			if err != nil {
+				return nil, &ErrorInfo{Kind: "bad_request", Detail: err.Error()}, http.StatusBadRequest
+			}
+			objs[i] = obj
+		}
+		// The strategy is threaded per-request (never an engine-wide
+		// knob): concurrent requests with different strategies must not
+		// race each other.
+		strat, err := core.ParseOptimizeStrategy(req.Strategy)
+		if err != nil {
+			return nil, &ErrorInfo{Kind: "bad_request", Detail: err.Error()}, http.StatusBadRequest
+		}
+		if req.Pareto {
+			res, err := s.eng.ParetoWithStrategyCtx(ctx, sc, objs, budget, strat)
+			if err != nil {
+				return fail(err)
+			}
+			for _, p := range res.Points {
+				resp.ParetoPoints = append(resp.ParetoPoints, &ParetoPointOut{
+					Values: p.Values, Design: designOut(p.Design),
+				})
+			}
+			resp.Complete = res.Complete
+			resp.Spent = spentJSON(res.Spent)
+			if res.Exhausted != nil {
+				// Partial frontier: degraded 200, mirroring enumerate.
+				resp.Degraded = true
+				resp.DegradedCause = res.Exhausted.Cause
+			}
+			return resp, nil, 0
+		}
+		res, err := s.eng.OptimizeWithStrategyCtx(ctx, sc, objs, budget, strat)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Verdict = res.Verdict.String()
+		resp.Design = designOut(res.Design)
+		resp.Explanation = explanationOut(res.Explanation)
+		resp.ObjectiveValues = res.ObjectiveValues
+		resp.LowerBounds = res.LowerBounds
+		resp.Spent = spentJSON(res.Spent)
+		if res.Approximate {
+			// Budget-tripped but witnessed: the response still carries the
+			// best design plus the proven [lower_bound, value] bracket.
+			resp.Degraded = true
+			resp.DegradedCause = res.ApproxCause
 		}
 
 	default:

@@ -102,8 +102,17 @@ type (
 	Explanation = core.Explanation
 	// Objective is one level of a lexicographic optimization goal.
 	Objective = core.Objective
-	// OptimizeResult carries the optimum design and objective values.
+	// OptimizeResult carries the optimum design, the achieved objective
+	// values, and the proven lower bounds (the bounded-suboptimality
+	// bracket when a budget trips mid-search).
 	OptimizeResult = core.OptimizeResult
+	// OptimizeStrategy selects the MaxSAT descent used by Optimize and
+	// Pareto queries (StrategyBinary or StrategyLinear).
+	OptimizeStrategy = core.OptimizeStrategy
+	// ParetoResult is the non-dominated frontier over several objectives.
+	ParetoResult = core.ParetoResult
+	// ParetoPoint is one frontier point: objective vector plus witness.
+	ParetoPoint = core.ParetoPoint
 	// PerformanceBound is a Listing 3-style hard bound against an order.
 	PerformanceBound = core.PerformanceBound
 	// Verdict is Feasible or Infeasible.
@@ -149,8 +158,31 @@ const (
 	MinimizeCost    = core.MinimizeCost
 	MinimizeCores   = core.MinimizeCores
 	MinimizeSystems = core.MinimizeSystems
+	MinimizePower   = core.MinimizePower
+	MinimizePorts   = core.MinimizePorts
 	PreferOrder     = core.PreferOrder
 )
+
+// MaxSAT descent strategies for Engine.SetOptimizeStrategy.
+const (
+	// StrategyBinary bisects the objective range (the default): budget
+	// trips leave tight two-sided bounds.
+	StrategyBinary = core.StrategyBinary
+	// StrategyLinear descends SAT-UNSAT: every step improves the witness,
+	// but the lower bound stays trivial until the final Unsat.
+	StrategyLinear = core.StrategyLinear
+)
+
+// ParseObjective parses the CLI/serve spelling of one objective level:
+// "cost", "cores", "systems", "power", "ports", "latency", or
+// "order:<dimension>".
+func ParseObjective(name string) (Objective, error) { return core.ParseObjective(name) }
+
+// ParseOptimizeStrategy parses the CLI/serve strategy spelling: "binary"
+// (or empty, the default) and "linear".
+func ParseOptimizeStrategy(s string) (OptimizeStrategy, error) {
+	return core.ParseOptimizeStrategy(s)
+}
 
 // Hardware kinds.
 const (
