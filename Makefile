@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
+.PHONY: build test vet race verify parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff scale-diff fuzz-smoke alloc-budget serve-smoke bench bench-smoke bench-diff clean
 
 # BENCH is the JSON file the bench target writes and bench-diff compares
 # against; point it at the next PR's file when cutting a new baseline.
-BENCH ?= BENCH_PR9.json
+BENCH ?= BENCH_PR10.json
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,16 @@ delta-diff:
 optimize-diff:
 	$(GO) test -run='TestOptimizeDifferential|TestParetoDifferential|TestMetamorphic' -count=1 ./internal/core
 
+# scale-diff pins the relevance-slicing soundness gate (DESIGN.md §16):
+# on a 5k-SKU scaled catalog, every verdict, lexicographic optimum,
+# Pareto frontier, design and explanation from the cone-of-influence
+# slice must match the full encoding — over the §5.1 suite plus seeded
+# randomized scenarios, at 1/2/8 workers, warm and cold — together with
+# the slice edge cases and the 50k-SKU catalog generation smoke.
+scale-diff:
+	$(GO) test -run='TestScaleDifferential|TestSlice' -count=1 ./internal/core
+	$(GO) test -run='TestCatalogScale' -count=1 ./internal/extract
+
 # fuzz-smoke runs the snapshot decoders' fuzz targets briefly so the
 # untrusted-bytes contract (typed errors, no panics, no OOM) is
 # exercised on every gate, not only in dedicated fuzz sessions, plus the
@@ -105,10 +115,10 @@ fuzz-smoke:
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus static
 # analysis, the race detector over every package, the enumeration,
-# snapshot and optimality differentials, the hot-path allocation budgets,
-# the serve lifecycle smoke, a fuzz smoke over the snapshot decoders and
-# the MaxSAT bounds, and a benchmark smoke run.
-verify: build vet test race parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
+# snapshot, optimality and relevance-slicing differentials, the hot-path
+# allocation budgets, the serve lifecycle smoke, a fuzz smoke over the
+# snapshot decoders and the MaxSAT bounds, and a benchmark smoke run.
+verify: build vet test race parallel-diff snapshot-diff portfolio-diff delta-diff optimize-diff scale-diff alloc-budget serve-smoke fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -73,14 +73,15 @@ func BenchmarkPFCDeadlock(b *testing.B) { benchExperiment(b, experiments.RunP1) 
 func BenchmarkGreedyVsSAT(b *testing.B) { benchExperiment(b, experiments.RunB1) }
 
 // BenchmarkSynthScaling measures synthesis latency against catalog size
-// (S1): the series the paper's tractability bet rides on.
+// (S1): the series the paper's tractability bet rides on. The fraction
+// tiers shrink the seed catalog; the SKU tiers grow it with the
+// parameterized generators and measure relevance slicing on vs off —
+// the slice=on series is the PR 10 scale-out claim (50k-SKU synthesis
+// within ~2× of the 200-SKU baseline).
 func BenchmarkSynthScaling(b *testing.B) {
 	full := catalog.CaseStudy()
 	for _, frac := range []int{25, 50, 100} {
 		sub := experiments.CatalogFraction(full, frac)
-		if frac == 100 {
-			sub.Rules, sub.Orders = full.Rules, full.Orders
-		}
 		b.Run(fmt.Sprintf("catalog=%d%%", frac), func(b *testing.B) {
 			eng, err := netarch.NewEngine(sub)
 			if err != nil {
@@ -97,6 +98,36 @@ func BenchmarkSynthScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+	for _, skus := range []int{5000, 20000, 50000} {
+		k := catalog.ScaledCatalog(skus)
+		for _, mode := range []netarch.SliceMode{netarch.SliceOn, netarch.SliceOff} {
+			b.Run(fmt.Sprintf("skus=%d/slice=%s", skus, mode), func(b *testing.B) {
+				eng, err := netarch.NewEngine(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.SetSliceMode(mode)
+				// Warm the base cache outside the timer: this benchmark
+				// measures the amortized query (BenchmarkColdStart owns
+				// the first-query cost), and the unsliced 20k/50k tiers
+				// only reach one timed iteration, which would otherwise
+				// be pure compile time.
+				if _, err := eng.Synthesize(netarch.Scenario{Workloads: []string{"inference_app"}}); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := eng.Synthesize(netarch.Scenario{Workloads: []string{"inference_app"}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Verdict != netarch.Feasible {
+						b.Fatal("expected feasible")
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -735,6 +766,26 @@ func BenchmarkColdStart(b *testing.B) {
 			}
 		}
 	})
+	// Scaled-catalog cold starts: the first query against 5k/20k/50k-SKU
+	// catalogs, relevance slicing on vs off. The off series is the cost
+	// every cold process would pay without the slicer (the 50k tier runs
+	// tens of seconds per compile — expected, that is the point).
+	for _, skus := range []int{5000, 20000, 50000} {
+		sk := catalog.ScaledCatalog(skus)
+		for _, mode := range []netarch.SliceMode{netarch.SliceOn, netarch.SliceOff} {
+			b.Run(fmt.Sprintf("skus=%d/slice=%s", skus, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng, err := netarch.NewEngine(sk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng.SetSliceMode(mode)
+					firstQuery(b, eng)
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkCompile measures scenario compilation alone (formula build +

@@ -80,6 +80,9 @@ Resource-governance flags (synth/check/optimize/explain/suggest/disambiguate):
   -portfolio N        race N diversified solvers per decision query
                       (synth/check/explain/multi; <=1 = off; verdicts are
                       identical whatever the width)
+  -slice MODE         relevance-sliced compilation: on, off, or auto
+                      (default auto: slice only when the catalog is large;
+                      answers are identical whatever the mode)
 
 Cache flags:
   -cache-dir DIR      persist compiled bases to DIR and revive them on
@@ -98,6 +101,7 @@ flags set the server-side policy ceiling clients may only tighten):
   -drain-timeout D    graceful-drain deadline on SIGINT/SIGTERM
   -clone-pool N       pre-cloned solvers per base (0 = max-inflight)
   -portfolio N        diversified solver race width per decision query
+  -slice MODE         relevance-sliced compilation: on, off, or auto
   -chaos SPEC         fault injection: seed=N,rate=F[,event=solve|conflict|both]
   -kb FILE            serve this knowledge base instead of the case study
   -retry-after D      backoff hint on 429/503 (header rounds up to >= 1s)
@@ -341,6 +345,23 @@ func portfolioFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine)) {
 	return func(eng *netarch.Engine) { eng.SetPortfolio(*n) }
 }
 
+// sliceFlag registers -slice and returns an applier that sets the
+// engine's relevance-slicing policy (see Engine.SetSliceMode). Like
+// -workers and -portfolio it is a pure latency knob: verdicts, optima,
+// explanations, and Pareto frontiers do not depend on it (DESIGN.md
+// §16); "auto" slices only when the catalog is large enough to pay.
+func sliceFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine) error) {
+	mode := fs.String("slice", "auto", "relevance-sliced compilation: on, off, or auto")
+	return func(eng *netarch.Engine) error {
+		m, err := netarch.ParseSliceMode(*mode)
+		if err != nil {
+			return err
+		}
+		eng.SetSliceMode(m)
+		return nil
+	}
+}
+
 // cacheDirFlag registers -cache-dir and returns an applier that turns on
 // the engine's persistent compiled-base cache (see Engine.SetCacheDir).
 func cacheDirFlag(fs *flag.FlagSet) (apply func(eng *netarch.Engine) error) {
@@ -381,6 +402,7 @@ func cmdSolve(args []string, mode string) error {
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
 	setPortfolio := portfolioFlag(fs)
+	setSlice := sliceFlag(fs)
 	setCacheDir := cacheDirFlag(fs)
 	cacheStats := fs.Bool("cache-stats", false, "print compiled-base cache stats after the query")
 	strategy := fs.String("strategy", "", "MaxSAT descent strategy: binary (default) or linear")
@@ -408,6 +430,9 @@ func cmdSolve(args []string, mode string) error {
 	}
 	setWorkers(eng)
 	setPortfolio(eng)
+	if err := setSlice(eng); err != nil {
+		return err
+	}
 	if err := setCacheDir(eng); err != nil {
 		return err
 	}
@@ -514,6 +539,7 @@ func cmdMulti(args []string) error {
 	getBudget := budgetFlags(fs)
 	setWorkers := workersFlag(fs)
 	setPortfolio := portfolioFlag(fs)
+	setSlice := sliceFlag(fs)
 	setCacheDir := cacheDirFlag(fs)
 	rounds := fs.Int("rounds", 3, "rounds of synth+explain+optimize to run")
 	cacheStats := fs.Bool("cache-stats", true, "print compiled-base cache stats after the queries")
@@ -537,6 +563,9 @@ func cmdMulti(args []string) error {
 	}
 	setWorkers(eng)
 	setPortfolio(eng)
+	if err := setSlice(eng); err != nil {
+		return err
+	}
 	if err := setCacheDir(eng); err != nil {
 		return err
 	}

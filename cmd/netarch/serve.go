@@ -31,6 +31,7 @@ func cmdServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on shutdown")
 	clonePool := fs.Int("clone-pool", 0, "pre-cloned solvers per base (0 = max-inflight, <0 = off)")
 	portfolio := fs.Int("portfolio", 0, "diversified solver race width for decision queries (<=1 = off)")
+	sliceMode := fs.String("slice", "auto", "relevance-sliced compilation: on, off, or auto")
 	maxEnum := fs.Int("max-enumerate", 64, "ceiling on per-request enumeration limits")
 	chaosSpec := fs.String("chaos", "", "fault-injection profile: seed=N,rate=F[,event=solve|conflict|both]")
 	kbFile := fs.String("kb", "", "knowledge-base file (JSON or DSL; default: built-in case study)")
@@ -51,6 +52,10 @@ func cmdServe(args []string) error {
 		if chaos, err = serve.ParseChaos(*chaosSpec); err != nil {
 			return err
 		}
+	}
+	slice, err := netarch.ParseSliceMode(*sliceMode)
+	if err != nil {
+		return err
 	}
 
 	k := netarch.CaseStudy()
@@ -88,6 +93,7 @@ func cmdServe(args []string) error {
 		Prewarm:      []netarch.Scenario{sc},
 		ClonePool:    *clonePool,
 		Portfolio:    *portfolio,
+		Slice:        slice,
 		Chaos:        chaos,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)

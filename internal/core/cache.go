@@ -57,6 +57,16 @@ type CacheStats struct {
 	// PoolMisses: queries that cloned inline because the pool was empty.
 	PoolHits   int64
 	PoolMisses int64
+	// Relevance-slicing counters (all zero unless slicing engaged — see
+	// Engine.SetSliceMode). SliceComputed: cone-of-influence slices
+	// computed; SliceHits: slices served from the request memo.
+	// SliceSKUsIn/SliceSKUsKept: cumulative catalog sizes entering and
+	// surviving slicing, so SliceSKUsKept/SliceSKUsIn is the average
+	// retention ratio.
+	SliceComputed int64
+	SliceHits     int64
+	SliceSKUsIn   int64
+	SliceSKUsKept int64
 }
 
 // String renders the cache stats.
@@ -75,7 +85,20 @@ func (cs CacheStats) String() string {
 	if cs.PoolHits+cs.PoolMisses > 0 {
 		s += fmt.Sprintf("; pool: %d hits / %d misses", cs.PoolHits, cs.PoolMisses)
 	}
+	if cs.SliceComputed+cs.SliceHits > 0 {
+		s += fmt.Sprintf("; slice: %d computed / %d memo hits, avg %d→%d SKUs",
+			cs.SliceComputed, cs.SliceHits,
+			cs.SliceSKUsIn/max64(cs.SliceComputed, 1),
+			cs.SliceSKUsKept/max64(cs.SliceComputed, 1))
+	}
 	return s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // CacheStats returns a snapshot of the compiled-base cache counters.
@@ -108,7 +131,9 @@ func (e *Engine) CacheStats() CacheStats {
 			DiskHits: e.diskHits.Load(), DiskMisses: e.diskMisses.Load(),
 			DiskWrites: e.diskWrites.Load(), DiskEvictions: e.diskEvictions.Load(),
 			DiskCorrupt: e.diskCorrupt.Load(), DiskStale: e.diskStale.Load(),
-			PoolHits:    e.poolHits.Load(), PoolMisses: e.poolMisses.Load(),
+			PoolHits: e.poolHits.Load(), PoolMisses: e.poolMisses.Load(),
+			SliceComputed: e.sliceComputed.Load(), SliceHits: e.sliceHits.Load(),
+			SliceSKUsIn: e.sliceSKUsIn.Load(), SliceSKUsKept: e.sliceSKUsKept.Load(),
 		}
 	}
 	prev := collect()
@@ -142,6 +167,10 @@ func (e *Engine) InvalidateCache() {
 	if e.cacheDir != "" {
 		e.kbHash = kbContentHash(e.kbCur)
 	}
+	// Memoized slices were computed from the previous KB content; the
+	// generation in their memo key already fences them, but dropping them
+	// keeps the memo from holding dead sub-KBs alive.
+	e.invalidateSliceMemo()
 }
 
 // SetCacheCapacity bounds how many compiled bases the engine retains
@@ -233,15 +262,23 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 	e.mu.RLock()
 	enabled := e.cacheCap > 0
 	gen := e.kbGen
-	var key string
-	if enabled {
-		key = shape.fingerprint()
-		base = e.bases[key]
-	}
+	k := e.kbCur
 	e.mu.RUnlock()
 
+	// Relevance slicing (slice.go): resolve the scenario's cone-of-
+	// influence slice up front so the cache key names the slice identity
+	// — a sliced base can never alias a full one or another slice's.
+	sl := e.sliceFor(k, gen, sc, &shape)
+	var key string
+	if enabled {
+		key = shape.fingerprint() + sliceKeySuffix(sl)
+		e.mu.RLock()
+		base = e.bases[key]
+		e.mu.RUnlock()
+	}
+
 	if !enabled {
-		base, err = e.compileBase(&shape)
+		base, err = e.compileSliced(k, &shape, sl)
 		if err != nil {
 			return nil, false, err
 		}
@@ -257,11 +294,11 @@ func (e *Engine) baseFor(sc *Scenario) (base *compiled, shared bool, err error) 
 	// base bumps DiskHits only — Misses stays the compile count.
 	var fresh *compiled
 	fromDisk := false
-	if fresh = e.loadDiskBase(&shape, key); fresh != nil {
+	if fresh = e.loadDiskBase(&shape, key, sl); fresh != nil {
 		e.diskHits.Add(1)
 		fromDisk = true
 	} else {
-		fresh, err = e.compileBase(&shape)
+		fresh, err = e.compileSliced(k, &shape, sl)
 		if err != nil {
 			return nil, false, err
 		}

@@ -28,6 +28,11 @@ type compiled struct {
 	solver *sat.Solver
 	arith  *intlin.Builder
 
+	// names is the engine's shared atom-string interner (nil degrades to
+	// plain concatenation — restored and specialized instances build few
+	// or no new atoms).
+	names *atomInterner
+
 	// pending accumulates the boolean assertions in emission order during
 	// the section methods; compileBase converts them to CNF in one shot
 	// (sharded across workers, deterministically merged — see
@@ -77,6 +82,13 @@ type compiled struct {
 	// envelope. It is a shared pointer — specialized instances alias the
 	// base's slot — so profiles survive across queries and flow to disk.
 	warm *warmSlot
+
+	// sliceID / sliceReq identify the relevance slice this base was
+	// compiled against (slice.go): empty/nil for full-KB bases. The ID
+	// extends the cache key and the snapshot envelope; the request lets
+	// UpdateKB recompute the slice under the incoming KB revision.
+	sliceID  string
+	sliceReq *sliceRequest
 
 	workloads []*kb.Workload
 	pinnedCtx map[string]bool // context atoms with known values
@@ -136,6 +148,24 @@ func (e *Engine) compileBase(sc *Scenario) (*compiled, error) {
 	return e.compileBaseWith(e.kbSnapshot(), sc, nil)
 }
 
+// compileSliced compiles a base against a relevance slice's sub-KB (or
+// the full KB when sl is nil), stamping the slice identity onto the
+// result so the cache, snapshot envelope, and UpdateKB can reproduce
+// it. The compile pipeline itself is unchanged: a sliced base is just a
+// compile of a smaller knowledge base.
+func (e *Engine) compileSliced(k *kb.KB, sc *Scenario, sl *kbSlice) (*compiled, error) {
+	if sl == nil {
+		return e.compileBaseWith(k, sc, nil)
+	}
+	c, err := e.compileBaseWith(sl.sub, sc, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.sliceID = sl.id
+	c.sliceReq = sl.req
+	return c, nil
+}
+
 // compileBaseWith is compileBase against an explicit KB revision and an
 // optional previous shard set. UpdateKB uses it to rebuild cached bases
 // against the incoming KB: prev carries the outgoing base's per-assertion
@@ -146,6 +176,7 @@ func (e *Engine) compileBaseWith(k *kb.KB, sc *Scenario, prev *logic.ShardSet) (
 	c := &compiled{
 		kb:         k,
 		sc:         sc,
+		names:      &e.names,
 		vocab:      logic.NewVocabulary(),
 		sysLit:     make(map[string]sat.Lit),
 		hwLit:      make(map[string]sat.Lit),
@@ -276,14 +307,20 @@ func (c *compiled) deriveContext() {
 
 // atom helpers ---------------------------------------------------------------
 
-func (c *compiled) sysVar(name string) logic.Var { return c.vocab.Get("system:" + name) }
-func (c *compiled) hwVar(name string) logic.Var  { return c.vocab.Get("hw:" + name) }
-func (c *compiled) ctxVar(name string) logic.Var { return c.vocab.Get("ctx:" + name) }
+func (c *compiled) sysVar(name string) logic.Var {
+	return c.vocab.Get(c.names.full(tierSystem, name))
+}
+func (c *compiled) hwVar(name string) logic.Var {
+	return c.vocab.Get(c.names.full(tierHw, name))
+}
+func (c *compiled) ctxVar(name string) logic.Var {
+	return c.vocab.Get(c.names.full(tierCtx, name))
+}
 func (c *compiled) propVar(p kb.Property) logic.Var {
-	return c.vocab.Get("prop:" + string(p))
+	return c.vocab.Get(c.names.full(tierProp, string(p)))
 }
 func (c *compiled) capVar(kind kb.HardwareKind, cap kb.Capability) logic.Var {
-	return c.vocab.Get("cap:" + string(kind) + ":" + string(cap))
+	return c.vocab.Get(c.names.full(tierCap, string(kind)+":"+string(cap)))
 }
 
 // addSelector registers a named assumable group and returns its literal.
@@ -299,7 +336,7 @@ func (c *compiled) addSelector(name, note string) sat.Lit {
 	if c.frozen {
 		l = sat.Lit(c.solver.NewVar())
 	} else {
-		l = sat.Lit(c.vocab.Get("sel:" + name))
+		l = sat.Lit(c.vocab.Get(c.names.full(tierSel, name)))
 	}
 	c.selByName[name] = len(c.selectors)
 	c.selectors = append(c.selectors, selector{name: name, note: note, lit: l})
@@ -362,6 +399,12 @@ func (c *compiled) allowedHardwareAll() []*kb.Hardware {
 	return out
 }
 
+// amoPairwiseMax is the largest per-kind candidate count still encoded
+// with pairwise at-most-one clauses. Seed-scale catalogs (≈200 SKUs,
+// ≤105 per kind) stay below it, keeping their compiled bases — and every
+// snapshot built from them — byte-identical to the pre-slicing encoding.
+const amoPairwiseMax = 128
+
 // hardwareSelection asserts exactly-one SKU per hardware kind.
 func (c *compiled) hardwareSelection() {
 	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
@@ -377,11 +420,32 @@ func (c *compiled) hardwareSelection() {
 			atoms[i] = logic.V(c.hwVar(h.Name))
 		}
 		c.assertGuarded(name, note, logic.Or(atoms...))
-		// Pairwise at-most-one (unguarded: definitional structure).
-		for i := 0; i < len(atoms); i++ {
-			for j := i + 1; j < len(atoms); j++ {
-				c.assert(logic.Or(logic.Not(atoms[i]), logic.Not(atoms[j])))
+		// At-most-one (unguarded: definitional structure). Pairwise is
+		// smallest for the seed-scale catalogs every pre-slicing test and
+		// snapshot was built from; above amoPairwiseMax candidates the
+		// O(n²) clause count turns into the compile cliff the scale-out
+		// chases, so large kinds switch to a sequential ladder (3n clauses,
+		// n-1 aux commander atoms named amo:<kind>:<i>).
+		if len(atoms) <= amoPairwiseMax {
+			for i := 0; i < len(atoms); i++ {
+				for j := i + 1; j < len(atoms); j++ {
+					c.assert(logic.Or(logic.Not(atoms[i]), logic.Not(atoms[j])))
+				}
 			}
+		} else {
+			ladder := make([]logic.Formula, len(atoms))
+			for i := range atoms {
+				ladder[i] = logic.V(c.vocab.Get(fmt.Sprintf("amo:%s:%d", kind, i)))
+			}
+			conj := make([]logic.Formula, 0, 3*len(atoms))
+			for i, a := range atoms {
+				conj = append(conj, logic.Implies(a, ladder[i]))
+				if i > 0 {
+					conj = append(conj, logic.Implies(ladder[i-1], ladder[i]))
+					conj = append(conj, logic.Implies(a, logic.Not(ladder[i-1])))
+				}
+			}
+			c.assert(logic.And(conj...))
 		}
 		// SKUs outside the allowed set are off.
 		allowedSet := map[string]bool{}
@@ -924,22 +988,73 @@ func (c *compiled) switchBudget(res kb.Resource, selName, note string) {
 	c.arith.AssertImplies(sel, c.arith.Leq(used, budget))
 }
 
+// kindTotal builds a muxed per-kind contribution: one bounded integer,
+// forced to val(h) exactly while SKU h is selected. The previous
+// encoding summed one ScaledBool per SKU, which grows an adder chain
+// linear in the catalog — ruinous at scaled-catalog sizes, where one
+// kind can hold tens of thousands of candidates. The mux follows the
+// coresTotal/memTotal precedent: at most one SKU per kind is selected,
+// so exactly one EqConst fires and the variable is pinned to the
+// selected SKU's value. When no SKU of the kind is selected (possible
+// only in MUS deletion trials that drop the selection selector) the
+// variable floats; such trials only ask satisfiability, which a
+// floating total never changes.
+// muxTotals reports whether the cost/power/port circuits should use the
+// muxed per-kind encoding. Gated on the same threshold as the AMO
+// ladder: below it the ScaledBool adder chains are small and the seed
+// encoding (and every snapshot and model trajectory built on it) stays
+// byte-identical; above it the chains dominate compile time and memory.
+func (c *compiled) muxTotals() bool {
+	for _, kind := range []kb.HardwareKind{kb.KindSwitch, kb.KindNIC, kb.KindServer} {
+		if len(c.allowedHardware(kind)) > amoPairwiseMax {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiled) kindTotal(kind kb.HardwareKind, val func(*kb.Hardware) int64) intlin.Int {
+	hws := c.allowedHardware(kind)
+	var maxV int64
+	for _, h := range hws {
+		if v := val(h); v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		return c.arith.Const(0)
+	}
+	t := c.arith.Var(maxV)
+	for _, h := range hws {
+		c.arith.AssertImplies(c.hwLit[h.Name], c.arith.EqConst(t, val(h)))
+	}
+	return t
+}
+
 // costModel builds the total hardware cost and the optional budget cap.
 func (c *compiled) costModel() {
 	ns := int64(c.sc.numServers())
 	nsw := int64(c.sc.numSwitches())
-	var terms []intlin.Int
-	add := func(kind kb.HardwareKind, count int64) {
-		for _, h := range c.allowedHardware(kind) {
-			if cost := h.CostUSD * count; cost > 0 {
-				terms = append(terms, c.arith.ScaledBool(c.hwLit[h.Name], cost))
+	if c.muxTotals() {
+		c.costTotal = c.arith.Sum(
+			c.kindTotal(kb.KindServer, func(h *kb.Hardware) int64 { return h.CostUSD * ns }),
+			c.kindTotal(kb.KindNIC, func(h *kb.Hardware) int64 { return h.CostUSD * ns }),
+			c.kindTotal(kb.KindSwitch, func(h *kb.Hardware) int64 { return h.CostUSD * nsw }),
+		)
+	} else {
+		var terms []intlin.Int
+		add := func(kind kb.HardwareKind, count int64) {
+			for _, h := range c.allowedHardware(kind) {
+				if cost := h.CostUSD * count; cost > 0 {
+					terms = append(terms, c.arith.ScaledBool(c.hwLit[h.Name], cost))
+				}
 			}
 		}
+		add(kb.KindServer, ns)
+		add(kb.KindNIC, ns)
+		add(kb.KindSwitch, nsw)
+		c.costTotal = c.arith.Sum(terms...)
 	}
-	add(kb.KindServer, ns)
-	add(kb.KindNIC, ns)
-	add(kb.KindSwitch, nsw)
-	c.costTotal = c.arith.Sum(terms...)
 	if c.sc.MaxCostUSD > 0 {
 		sel := c.addSelector("budget:cost",
 			fmt.Sprintf("total hardware cost must not exceed $%d", c.sc.MaxCostUSD))
@@ -955,6 +1070,14 @@ func (c *compiled) costModel() {
 func (c *compiled) powerModel() {
 	ns := int64(c.sc.numServers())
 	nsw := int64(c.sc.numSwitches())
+	if c.muxTotals() {
+		c.powerTotal = c.arith.Sum(
+			c.kindTotal(kb.KindServer, func(h *kb.Hardware) int64 { return h.Q(kb.ResPowerW) * ns }),
+			c.kindTotal(kb.KindNIC, func(h *kb.Hardware) int64 { return h.Q(kb.ResPowerW) * ns }),
+			c.kindTotal(kb.KindSwitch, func(h *kb.Hardware) int64 { return h.Q(kb.ResPowerW) * nsw }),
+		)
+		return
+	}
 	var terms []intlin.Int
 	add := func(kind kb.HardwareKind, count int64) {
 		for _, h := range c.allowedHardware(kind) {
@@ -974,6 +1097,12 @@ func (c *compiled) powerModel() {
 // and the switch_ports design metric.
 func (c *compiled) portModel() {
 	nsw := int64(c.sc.numSwitches())
+	if c.muxTotals() {
+		c.portTotal = c.kindTotal(kb.KindSwitch, func(h *kb.Hardware) int64 {
+			return h.Q(kb.ResPortCount) * nsw
+		})
+		return
+	}
 	var terms []intlin.Int
 	for _, h := range c.allowedHardware(kb.KindSwitch) {
 		if p := h.Q(kb.ResPortCount) * nsw; p > 0 {

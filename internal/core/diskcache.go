@@ -117,7 +117,10 @@ func snapshotPath(dir, fingerprint string) string {
 // left in place), or a file that failed structural validation (counted,
 // quarantined, never retried). The caller falls through to compileBase,
 // so disk problems are invisible to queries.
-func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
+// The fingerprint parameter is the full cache key (shape fingerprint
+// plus slice-identity suffix); sl, when non-nil, is the slice the
+// caller expects the file to have been compiled under.
+func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string, sl *kbSlice) *compiled {
 	dir, hash, k, _, _ := e.diskConfig()
 	if dir == "" {
 		return nil
@@ -138,7 +141,7 @@ func (e *Engine) loadDiskBase(shape *Scenario, fingerprint string) *compiled {
 		e.diskMisses.Add(1)
 		return nil
 	}
-	base, err := restoreBase(k, shape, hash, data)
+	base, err := restoreBaseSlice(k, shape, hash, data, sl)
 	if err != nil {
 		if errors.Is(err, ErrSnapshotStale) {
 			// Written from a different KB revision — not corruption.

@@ -86,6 +86,24 @@ type Engine struct {
 	// (PortfolioStats).
 	portExported atomic.Int64
 	portImported atomic.Int64
+
+	// Relevance slicing (slice.go). sliceMode is the policy (SliceAuto /
+	// SliceOff / SliceOn); sliceMemo caches computed slices per
+	// (generation, request) under its own lock so the warm path never
+	// recomputes a cone. The counters feed CacheStats.
+	sliceMode     atomic.Int32
+	sliceMu       sync.Mutex
+	sliceMemo     map[string]*kbSlice
+	sliceComputed atomic.Int64
+	sliceHits     atomic.Int64
+	sliceSKUsIn   atomic.Int64
+	sliceSKUsKept atomic.Int64
+
+	// names interns namespaced atom strings across compiles (intern.go):
+	// with slicing, one engine runs many small compiles over the same
+	// catalog vocabulary, and the canonical strings are shared by all of
+	// them.
+	names atomInterner
 }
 
 // New validates the knowledge base and returns an engine over it.
@@ -357,4 +375,3 @@ func (e *Engine) ExplainCtx(ctx context.Context, sc Scenario, b Budget) (*Explan
 	}
 	return rep.Explanation, nil
 }
-

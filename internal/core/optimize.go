@@ -163,8 +163,8 @@ func (e *Engine) OptimizeWithStrategyCtx(ctx context.Context, sc Scenario, objec
 // lookups afterwards, so a spec is safe to instantiate on any fork of
 // that instance (the Pareto cube workers rely on this).
 type objectiveSpec struct {
-	term  intlin.Int            // int-backed objectives
-	isInt bool                  // term valid
+	term  intlin.Int             // int-backed objectives
+	isInt bool                   // term valid
 	count *maxsat.CountObjective // count-backed objectives
 }
 

@@ -60,7 +60,11 @@ var baseSnapshotMagic = [8]byte{'N', 'A', 'B', 'A', 'S', 'E', 1, '\n'}
 // v4: the powerTotal/portTotal arithmetic bit vectors (MaxSAT cost
 // models) after costTotal — and the circuits themselves change the
 // compiled solver state, so v3 bases are unusable anyway.
-const baseSnapshotVersion = 4
+// v5: the relevance-slice identity string after the fingerprint (empty
+// for full-KB bases). A sliced base's derived state must be rebuilt
+// from the recomputed sub-KB, so the slice a file was compiled under
+// has to be named — and verified — before restore trusts it.
+const baseSnapshotVersion = 5
 
 // Snapshot decode failure classes.
 var (
@@ -121,6 +125,7 @@ func snapshotBase(c *compiled, kbHash [32]byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, baseSnapshotVersion)
 	buf = append(buf, kbHash[:]...)
 	buf = appendString(buf, fp)
+	buf = appendString(buf, c.sliceID)
 
 	buf = binary.AppendUvarint(buf, uint64(len(names)))
 	for _, n := range names {
@@ -271,6 +276,16 @@ func (r *envReader) intlinInt(what string, nVars int) (intlin.Int, error) {
 // does) so the derived state recomputed below comes from the exact KB
 // the hash vouches for.
 func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*compiled, error) {
+	return restoreBaseSlice(k, shape, kbHash, data, nil)
+}
+
+// restoreBaseSlice is restoreBase with an expected relevance slice: nil
+// demands a full-KB snapshot (empty slice identity); non-nil demands a
+// snapshot compiled under exactly that slice, and rebuilds the derived
+// state from the slice's sub-KB — the same KB revision the compile saw.
+// A slice-identity mismatch is ErrSnapshotMismatch: like a fingerprint
+// alias, the file answers a different question than the caller's.
+func restoreBaseSlice(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte, sl *kbSlice) (*compiled, error) {
 	// Integrity first: CRC over everything before the trailing checksum.
 	// Random corruption dies here, cheaply, before any structural work.
 	if len(data) < len(baseSnapshotMagic)+4+32+4 {
@@ -309,6 +324,19 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 	}
 	if fp != shape.fingerprint() {
 		return nil, ErrSnapshotMismatch
+	}
+	sliceID, err := r.str("slice identity")
+	if err != nil {
+		return nil, err
+	}
+	wantSliceID := ""
+	ck := k
+	if sl != nil {
+		wantSliceID = sl.id
+		ck = sl.sub
+	}
+	if sliceID != wantSliceID {
+		return nil, fmt.Errorf("%w: slice identity %q (want %q)", ErrSnapshotMismatch, sliceID, wantSliceID)
 	}
 
 	nNames, err := r.count("vocabulary size")
@@ -467,7 +495,7 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 	// everything else recomputed from the KB and the shape exactly as
 	// compileBase derives it.
 	c := &compiled{
-		kb:         k,
+		kb:         ck,
 		sc:         shape,
 		vocab:      logic.RestoreVocabulary(names),
 		solver:     solver,
@@ -504,8 +532,8 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 	// System/hardware literals resolve through the restored vocabulary;
 	// a fresh compile allocated them before any Tseitin variable, so they
 	// must all be present — absence means vocabulary drift.
-	for i := range k.Systems {
-		name := k.Systems[i].Name
+	for i := range ck.Systems {
+		name := ck.Systems[i].Name
 		v := c.vocab.Lookup("system:" + name)
 		if v == 0 {
 			return nil, fmt.Errorf("%w: system %q missing from vocabulary", ErrSnapshotCorrupt, name)
@@ -528,10 +556,14 @@ func restoreBase(k *kb.KB, shape *Scenario, kbHash [32]byte, data []byte) (*comp
 	}
 	sort.Strings(c.sysNames)
 	c.provides = make(map[kb.Property]bool)
-	for i := range k.Systems {
-		for _, p := range k.Systems[i].Solves {
+	for i := range ck.Systems {
+		for _, p := range ck.Systems[i].Solves {
 			c.provides[p] = true
 		}
+	}
+	if sl != nil {
+		c.sliceID = sl.id
+		c.sliceReq = sl.req
 	}
 	return c, nil
 }

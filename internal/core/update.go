@@ -105,7 +105,22 @@ func (e *Engine) UpdateKB(newKB *kb.KB) (*KBUpdate, error) {
 	fresh := make([]rebuilt, 0, len(keys))
 	for _, key := range keys {
 		ob := outgoing[key]
-		nb, err := e.compileBaseWith(newKB, ob.sc, ob.shards)
+		// Sliced bases recompute their cone under the incoming KB: the
+		// request is re-derived from the stored slice request, so a SKU or
+		// rule edit that changes slice membership changes the sub-KB (and
+		// the cache key — slice identity is part of it). When the slice is
+		// unchanged, ConvertShardsDelta reuses every untouched shard; when
+		// it changed, exactly the shards whose assertions differ under the
+		// new sub-KB are reconverted.
+		var newSlice *kbSlice
+		compileKB := newKB
+		newKey := ob.sc.fingerprint()
+		if ob.sliceReq != nil {
+			newSlice = computeSlice(newKB, ob.sliceReq)
+			compileKB = newSlice.sub
+			newKey += sliceKeySuffix(newSlice)
+		}
+		nb, err := e.compileBaseWith(compileKB, ob.sc, ob.shards)
 		if err != nil {
 			// The shape no longer compiles under the new KB (its
 			// workload or pinned hardware was removed): evict it rather
@@ -131,7 +146,11 @@ func (e *Engine) UpdateKB(newKB *kb.KB) (*KBUpdate, error) {
 			nb.warm.p.Store(q)
 			up.ProfilesCarried++
 		}
-		fresh = append(fresh, rebuilt{key, nb})
+		if newSlice != nil {
+			nb.sliceID = newSlice.id
+			nb.sliceReq = newSlice.req
+		}
+		fresh = append(fresh, rebuilt{newKey, nb})
 		up.BasesUpdated++
 	}
 
@@ -154,6 +173,7 @@ func (e *Engine) UpdateKB(newKB *kb.KB) (*KBUpdate, error) {
 		e.baseOrder = append(e.baseOrder, rb.key)
 	}
 	e.mu.Unlock()
+	e.invalidateSliceMemo()
 
 	// Rewrite the disk tier and refill clone pools off the lock. The
 	// rewrite reuses each shape's snapshot path, so the files that just

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"netarch/internal/catalog"
@@ -142,8 +143,15 @@ func RunP1() (*Result, error) {
 
 // CatalogFraction cuts the catalog down to roughly frac percent while
 // keeping every role and hardware kind represented, so smaller catalogs
-// stay feasible for the case-study workload. Shared by the S1 experiment
-// and the scaling benchmarks.
+// stay feasible for the case-study workload. Rules and orders carry
+// over, filtered to the surviving systems and SKUs: a rule is kept when
+// every system and hardware atom it mentions survives (context,
+// property, and capability atoms never disqualify — they exist at every
+// fraction), and an order keeps exactly the edges and equalities whose
+// endpoints both survive. Earlier revisions dropped Rules and Orders
+// entirely, which made every caller patch them back by hand at
+// frac=100 and silently under-constrained every smaller fraction.
+// Shared by the S1 experiment and the scaling benchmarks.
 func CatalogFraction(full *kb.KB, frac int) *kb.KB {
 	sub := &kb.KB{Workloads: full.Workloads}
 	perRole := map[kb.Role][]kb.System{}
@@ -170,6 +178,55 @@ func CatalogFraction(full *kb.KB, frac int) *kb.KB {
 		}
 		sub.Hardware = append(sub.Hardware, hs[:n]...)
 	}
+	haveSys := map[string]bool{}
+	for i := range sub.Systems {
+		haveSys[sub.Systems[i].Name] = true
+	}
+	haveHw := map[string]bool{}
+	for i := range sub.Hardware {
+		haveHw[sub.Hardware[i].Name] = true
+	}
+	var atoms []string
+	for _, r := range full.Rules {
+		atoms = r.Expr.Atoms(atoms[:0])
+		keep := true
+		for _, a := range atoms {
+			if name, ok := strings.CutPrefix(a, "system:"); ok && !haveSys[name] {
+				keep = false
+				break
+			}
+			if name, ok := strings.CutPrefix(a, "hw:"); ok && !haveHw[name] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sub.Rules = append(sub.Rules, r)
+		}
+	}
+	// Order endpoints that are not systems (opaque items a dimension
+	// ranks) always survive; system endpoints must be in the sub-KB.
+	isSys := map[string]bool{}
+	for i := range full.Systems {
+		isSys[full.Systems[i].Name] = true
+	}
+	keepNode := func(name string) bool { return !isSys[name] || haveSys[name] }
+	for _, spec := range full.Orders {
+		o := kb.OrderSpec{Dimension: spec.Dimension}
+		for _, e := range spec.Edges {
+			if keepNode(e.Better) && keepNode(e.Worse) {
+				o.Edges = append(o.Edges, e)
+			}
+		}
+		for _, q := range spec.Equals {
+			if keepNode(q.A) && keepNode(q.B) {
+				o.Equals = append(o.Equals, q)
+			}
+		}
+		if len(o.Edges) > 0 || len(o.Equals) > 0 {
+			sub.Orders = append(sub.Orders, o)
+		}
+	}
 	return sub
 }
 
@@ -189,10 +246,6 @@ func RunS1() (*Result, error) {
 	var fullDur time.Duration
 	for frac := 1; frac <= 4; frac++ {
 		sub := CatalogFraction(full, frac*25)
-		if frac == 4 {
-			sub.Rules = full.Rules
-			sub.Orders = full.Orders
-		}
 		eng, err := core.New(sub)
 		if err != nil {
 			return nil, err

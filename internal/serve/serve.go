@@ -71,6 +71,11 @@ type Config struct {
 	// dominate and cores outnumber the in-flight query load.
 	Portfolio int
 
+	// Slice sets the relevance-slicing policy (core.Engine.SetSliceMode).
+	// The zero value is SliceAuto: slice only when the catalog is large
+	// enough to pay for itself. Answers are mode-independent.
+	Slice core.SliceMode
+
 	// Chaos, when non-nil, is wired into the engine's fault hook at
 	// startup: a seeded fault-injection profile for chaos testing.
 	Chaos *Chaos
@@ -155,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Portfolio > 1 {
 		s.eng.SetPortfolio(cfg.Portfolio)
 	}
+	s.eng.SetSliceMode(cfg.Slice)
 	if cfg.Chaos != nil {
 		// Installed once, before any query runs; the profile's own
 		// atomics make rate/event changes safe mid-flight.
@@ -680,6 +686,10 @@ type CacheStatsJSON struct {
 	DiskStale     int64 `json:"disk_stale"`
 	PoolHits      int64 `json:"pool_hits"`
 	PoolMisses    int64 `json:"pool_misses"`
+	SliceComputed int64 `json:"slice_computed"`
+	SliceHits     int64 `json:"slice_hits"`
+	SliceSKUsIn   int64 `json:"slice_skus_in"`
+	SliceSKUsKept int64 `json:"slice_skus_kept"`
 }
 
 // StatsResponse is the /statsz body.
@@ -714,6 +724,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			DiskWrites: cs.DiskWrites, DiskEvictions: cs.DiskEvictions,
 			DiskCorrupt: cs.DiskCorrupt, DiskStale: cs.DiskStale,
 			PoolHits: cs.PoolHits, PoolMisses: cs.PoolMisses,
+			SliceComputed: cs.SliceComputed, SliceHits: cs.SliceHits,
+			SliceSKUsIn: cs.SliceSKUsIn, SliceSKUsKept: cs.SliceSKUsKept,
 		},
 		Modes: s.stats.snapshot(),
 	})

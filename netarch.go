@@ -163,6 +163,28 @@ const (
 	PreferOrder     = core.PreferOrder
 )
 
+// SliceMode selects the relevance-slicing policy for Engine.SetSliceMode:
+// whether compiles run against the scenario's cone of influence (the
+// systems, rules, and hardware SKUs that can affect its verdict) instead
+// of the full knowledge base. Answers are mode-independent; only compile
+// time and base size change.
+type SliceMode = core.SliceMode
+
+// Relevance-slicing policies.
+const (
+	// SliceAuto (the default) slices only when the catalog is large
+	// enough for slicing to pay for itself.
+	SliceAuto = core.SliceAuto
+	// SliceOff always compiles the full knowledge base.
+	SliceOff = core.SliceOff
+	// SliceOn always compiles the relevance slice.
+	SliceOn = core.SliceOn
+)
+
+// ParseSliceMode parses the CLI/serve slice-mode spelling: "auto" (or
+// empty, the default), "on", and "off".
+func ParseSliceMode(s string) (SliceMode, error) { return core.ParseSliceMode(s) }
+
 // MaxSAT descent strategies for Engine.SetOptimizeStrategy.
 const (
 	// StrategyBinary bisects the objective range (the default): budget
@@ -254,3 +276,10 @@ func DefaultCatalog() *KB { return catalog.Default() }
 // CaseStudy returns DefaultCatalog extended with the §2.3 ML-inference
 // workload (Listing 3).
 func CaseStudy() *KB { return catalog.CaseStudy() }
+
+// ScaledCatalog returns the seed compendium grown to approximately
+// total hardware SKUs (vendor families × speed grades × port counts ×
+// firmware variants) plus ~24 derived workload profiles — the corpus
+// behind the scale-out benchmarks. The seed catalog is always an exact
+// prefix, so every seed query runs unchanged against a scaled KB.
+func ScaledCatalog(total int) *KB { return catalog.ScaledCatalog(total) }
